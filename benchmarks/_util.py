@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table/figure-equivalent of the paper
+(DESIGN.md's per-experiment index): it sweeps instance sizes, asserts the
+predicted growth *shape*, records the measured rows under
+``benchmarks/results/`` (the numbers EXPERIMENTS.md quotes), and times a
+representative operation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, List, Sequence, Tuple
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record(name: str, text: str) -> str:
+    """Write one experiment's measured rows to benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text.rstrip() + "\n")
+    return path
+
+
+def timed(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def format_rows(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    widths = [max(len(str(h)), max((len(f"{v:.6g}" if isinstance(v, float) else str(v))
+                                    for v in col), default=0))
+              for h, col in zip(header, zip(*rows))] if rows else [len(h) for h in header]
+    out = ["  ".join(str(h).rjust(w) for h, w in zip(header, widths))]
+    for row in rows:
+        out.append("  ".join(
+            (f"{v:.6g}" if isinstance(v, float) else str(v)).rjust(w)
+            for v, w in zip(row, widths)))
+    return "\n".join(out)

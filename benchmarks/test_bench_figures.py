@@ -1,0 +1,77 @@
+"""F1-F3: regenerate the paper's three figures (join tree; hypergraph;
+S-component decomposition) as printable structures."""
+
+from _util import record
+
+from repro.figures import (
+    figure1_added_edge,
+    figure1_query,
+    figure2_query,
+    figure3_expected,
+)
+from repro.hypergraph.components import max_independent_subset, s_components
+from repro.hypergraph.freeconnex import free_connex_join_tree
+from repro.hypergraph.jointree import join_tree_of_query
+
+
+def test_figure1_join_tree(benchmark):
+    """Figure 1: the free-connex join tree with its free-only root zone
+    and the added {x2, x3} hyperedge."""
+    q = figure1_query()
+    assert q.is_acyclic() and q.is_free_connex()
+    tree, virtual = free_connex_join_tree(q)
+    added = figure1_added_edge()
+    assert {v.name for v in added} == {"x2", "x3"}
+
+    lines = [
+        "Figure 1 — join tree of the extended hypergraph H + {x1,x2,x3},",
+        "rooted at the free edge (the paper draws the equivalent tree with",
+        "the added sub-edge S'(x2,x3) under the root {x1,x2}):",
+        "",
+        repr(tree),
+        "",
+        f"added hyperedge: {{{', '.join(sorted(v.name for v in added))}}}",
+        f"query free-connex: {q.is_free_connex()}",
+    ]
+    record("figure1", "\n".join(lines))
+    benchmark(lambda: free_connex_join_tree(figure1_query()))
+
+
+def test_figure2_hypergraph(benchmark):
+    """Figure 2: the hypergraph with S = free = {y1..y7}."""
+    q = figure2_query()
+    h = q.hypergraph()
+    assert q.is_acyclic()
+    lines = ["Figure 2 — hypergraph of the Section 4.4 query,",
+             f"S = free(phi) = {sorted(v.name for v in q.free_variables())}:",
+             ""]
+    for i, e in enumerate(h.edges):
+        lines.append(f"  e{i}: {{{', '.join(sorted(v.name for v in e))}}}")
+    record("figure2", "\n".join(lines))
+    benchmark(lambda: figure2_query().hypergraph())
+
+
+def test_figure3_s_components(benchmark):
+    """Figure 3: the decomposition into three S-components; the central
+    one holds an independent set of size 3 ({y3, y5, y6})."""
+    q = figure2_query()
+    h = q.hypergraph()
+    expected = figure3_expected()
+    comps = s_components(h, q.free_variables())
+    assert len(comps) == expected["n_components"]
+    assert q.quantified_star_size() == expected["star_size"]
+
+    lines = ["Figure 3 — S-component decomposition:"]
+    for i, comp in enumerate(comps):
+        sub = comp.subhypergraph(h)
+        ind = max_independent_subset(sub, sorted(comp.s_vertices, key=str))
+        lines.append(
+            f"  component {i}: S-vertices "
+            f"{sorted(v.name for v in comp.s_vertices)}; "
+            f"max independent S-set {sorted(v.name for v in ind)} "
+            f"(size {len(ind)})")
+    lines.append(f"quantified star size = {q.quantified_star_size()} "
+                 f"(witness {sorted(expected['witness_independent_set'])})")
+    record("figure3", "\n".join(lines))
+    benchmark(lambda: s_components(figure2_query().hypergraph(),
+                                   figure2_query().free_variables()))

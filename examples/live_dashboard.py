@@ -1,0 +1,112 @@
+"""A live dashboard: query evaluation under updates + random access
+(the library's beyond-the-paper extensions; the survey's conclusion
+flags dynamic evaluation as the next chapter of this story).
+
+Scenario: a ride-hailing ops dashboard.  Drivers go on/off shift and
+zones open/close continuously; the dashboard needs, at all times,
+
+* "is any ride possible right now?"            (satisfiability)
+* "how many (driver) options are live?"        (counting)
+* "show me 5 random live options"              (sampling)
+* the j-th option in a stable order            (pagination!)
+
+A :class:`DynamicFreeConnexView` absorbs the update stream at
+microseconds per event; :class:`RandomAccessEnumerator` pages into the
+answer set without materialising it.
+
+Run:  python examples/live_dashboard.py
+"""
+
+import random
+import time
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.dynamic import DynamicFreeConnexView
+from repro.enumeration.random_access import RandomAccessEnumerator
+from repro.logic.parser import parse_cq
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main() -> None:
+    rng = random.Random(4)
+    # Driver(driver, zone): who is on shift where;
+    # Open(zone, slot): which pickup slots a zone currently serves
+    query = parse_cq("Live(driver) :- Driver(driver, zone), Open(zone, slot)")
+    view = DynamicFreeConnexView(query)
+
+    banner("1. Absorbing the update stream")
+    zones = [f"z{i}" for i in range(30)]
+    events = 30000
+    start = time.perf_counter()
+    on_shift = set()
+    open_slots = set()
+    for i in range(events):
+        if rng.random() < 0.6:
+            driver = f"d{rng.randrange(2000)}"
+            zone = rng.choice(zones)
+            if (driver, zone) in on_shift and rng.random() < 0.5:
+                on_shift.discard((driver, zone))
+                view.delete("Driver", (driver, zone))
+            else:
+                on_shift.add((driver, zone))
+                view.insert("Driver", (driver, zone))
+        else:
+            zone = rng.choice(zones)
+            slot = rng.randrange(6)
+            if (zone, slot) in open_slots and rng.random() < 0.5:
+                open_slots.discard((zone, slot))
+                view.delete("Open", (zone, slot))
+            else:
+                open_slots.add((zone, slot))
+                view.insert("Open", (zone, slot))
+    elapsed = time.perf_counter() - start
+    print(f"{events} events in {elapsed*1e3:.0f} ms "
+          f"({elapsed/events*1e6:.1f} us/event)")
+    print(f"live right now: satisfiable={view.is_satisfiable()}  "
+          f"live drivers={view.count_answers()}")
+    print(f"view state: {view.stats()}")
+
+    banner("2. A zone outage, and the dashboard reacts instantly")
+    victim = zones[0]
+    affected = [slot for (z, slot) in open_slots if z == victim]
+    before = view.count_answers()
+    start = time.perf_counter()
+    for slot in affected:
+        view.delete("Open", (victim, slot))
+    outage_ms = (time.perf_counter() - start) * 1e3
+    print(f"closed {len(affected)} slots of {victim} in {outage_ms:.2f} ms; "
+          f"live drivers {before} -> {view.count_answers()}")
+    for slot in affected:
+        view.insert("Open", (victim, slot))
+    print(f"restored: {view.count_answers()}")
+
+    banner("3. Pagination and sampling without materialising")
+    # freeze the current state into a database for the random-access index
+    driver_rel = Relation("Driver", 2, sorted(on_shift))
+    open_rel = Relation("Open", 2, sorted(open_slots))
+    db = Database([driver_rel, open_rel])
+    ra = RandomAccessEnumerator(query, db)
+    n = ra.count()
+    print(f"answers: {n}")
+    page = [ra.answer(j) for j in range(min(5, n))]
+    print(f"page 1 (answers 0..4):        {page}")
+    mid = [ra.answer(j) for j in range(n // 2, min(n // 2 + 5, n))]
+    print(f"page from the middle:         {mid}")
+    print(f"5 random live options:        {ra.sample(5, seed=7, replacement=False)}")
+    start = time.perf_counter()
+    for j in range(0, n, max(1, n // 1000)):
+        ra.answer(j)
+    probes = len(range(0, n, max(1, n // 1000)))
+    print(f"{probes} random-access probes: "
+          f"{(time.perf_counter()-start)/probes*1e6:.1f} us each")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Social-network analytics: the fine-grained enumeration story on a
+realistic workload (Sections 4.1-4.2 of the paper, live).
+
+Three product questions over a synthetic follower graph:
+
+* "followers of followers" for a recommendations panel — free-connex,
+  so results stream with database-independent delay (Theorem 4.6);
+* "pairs two hops apart" — the matrix-multiplication shape, provably not
+  constant-delay-enumerable (Theorem 4.8), served with linear delay
+  (Theorem 4.3) instead;
+* a UNION of a hard and an easy query whose union extension makes the
+  whole union easy again (Theorem 4.13 / Equation 1).
+
+The script measures actual per-answer delays at growing graph sizes so
+you can watch the flat-vs-growing separation on your own machine.
+
+Run:  python examples/social_network.py
+"""
+
+import random
+
+from repro import Database, Relation, classify, parse_query
+from repro.enumeration.acq_linear import LinearDelayACQEnumerator
+from repro.enumeration.free_connex import FreeConnexEnumerator
+from repro.enumeration.ucq_union import UCQEnumerator
+from repro.logic.ucq import UnionOfConjunctiveQueries
+from repro.logic.parser import parse_cq
+from repro.perf.delay import measure_enumerator
+
+
+def follower_graph(n_users: int, avg_follows: int, seed: int = 0) -> Database:
+    rng = random.Random(seed)
+    follows = Relation("F", 2)
+    interests = Relation("I", 2)
+    topics = [f"topic{i}" for i in range(20)]
+    for u in range(n_users):
+        for _ in range(avg_follows):
+            v = rng.randrange(n_users)
+            if v != u:
+                follows.add((u, v))
+        interests.add((u, rng.choice(topics)))
+    db = Database([follows, interests])
+    db.add_domain_values(range(n_users))
+    return db
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main() -> None:
+    banner("Workload 1: recommendation feed (free-connex, Theorem 4.6)")
+    # the middleman stays in the head: free-connex (drop him and you get
+    # the Workload-2 hard shape)
+    feed = parse_cq(
+        "Feed(user, friend, topic) :- F(user, friend), I(friend, topic)")
+    print(classify(feed).verdict("enumerate").render())
+    print(f"{'users':>8} {'||D||':>9} {'pre (ms)':>10} {'median delay (us)':>19} "
+          f"{'p95 (us)':>10}")
+    for n in (500, 2000, 8000):
+        db = follower_graph(n, 5, seed=1)
+        profile = measure_enumerator(FreeConnexEnumerator(feed, db),
+                                     max_outputs=2000)
+        print(f"{n:>8} {db.size():>9} {profile.preprocessing_seconds*1e3:>10.2f} "
+              f"{profile.median_delay*1e6:>19.2f} "
+              f"{profile.percentile(0.95)*1e6:>10.2f}")
+    print("-> delay columns stay flat while ||D|| grows 16x")
+
+    banner("Workload 2: two-hop pairs (the Mat-Mul shape, Theorems 4.3/4.8)")
+    twohop = parse_cq("TwoHop(a, b) :- F(a, mid), F(mid, b)")
+    print(classify(twohop).verdict("enumerate").render())
+    print(f"{'users':>8} {'p95 delay (us)':>16}   (grows ~linearly in ||D||)")
+    for n in (500, 2000, 8000):
+        db = follower_graph(n, 5, seed=1)
+        profile = measure_enumerator(LinearDelayACQEnumerator(twohop, db),
+                                     max_outputs=300)
+        print(f"{n:>8} {profile.percentile(0.95)*1e6:>16.2f}")
+
+    banner("Workload 3: union rescue (Theorem 4.13, Equation 1)")
+    phi1 = parse_cq("Q(a, b, t) :- F(a, m), F(m, b), I(a, t)")
+    phi2 = parse_cq("Q(a, m, b) :- F(a, m), F(m, b)")
+    union = UnionOfConjunctiveQueries([phi1, phi2])
+    print(f"phi1 free-connex: {phi1.is_free_connex()}   "
+          f"phi2 free-connex: {phi2.is_free_connex()}")
+    print(classify(union).verdict("enumerate").render())
+    db = follower_graph(800, 4, seed=2)
+    profile = measure_enumerator(UCQEnumerator(union, db), max_outputs=2000)
+    print(f"union answers sampled: {profile.n_outputs}, "
+          f"median delay {profile.median_delay*1e6:.2f}us")
+
+
+if __name__ == "__main__":
+    main()

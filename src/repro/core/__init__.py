@@ -1,0 +1,24 @@
+"""The paper's contribution as an executable map.
+
+Given a query, :func:`~repro.core.classify.classify` computes the
+structural facts the survey's theorems key on (acyclicity, free-
+connexity, quantified star size, beta-acyclicity, prefix class, ...) and
+derives per-task verdicts — can this query be decided / counted /
+enumerated efficiently, by which theorem, with which engine of this
+library.  :mod:`~repro.core.planner` then routes ``answer`` / ``count`` /
+``enumerate_answers`` calls to the best applicable engine.
+"""
+
+from repro.core.classify import classify
+from repro.core.report import ComplexityReport, TaskVerdict
+from repro.core.planner import answer, count, enumerate_answers, decide
+
+__all__ = [
+    "classify",
+    "ComplexityReport",
+    "TaskVerdict",
+    "answer",
+    "count",
+    "enumerate_answers",
+    "decide",
+]

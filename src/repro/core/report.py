@@ -1,0 +1,62 @@
+"""Complexity reports: the classifier's output.
+
+A :class:`ComplexityReport` carries the structural facts about a query
+and one :class:`TaskVerdict` per task (decide / count / enumerate), each
+naming the paper result it instantiates and the engine of this library
+that realises it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class TaskVerdict:
+    """The classifier's conclusion for one algorithmic task."""
+
+    task: str                  # "decide" | "count" | "enumerate"
+    tractable: Optional[bool]  # None = unknown / conditional
+    bound: str                 # human-readable complexity bound
+    theorem: str               # the paper result the verdict instantiates
+    engine: str                # dotted path of the implementing engine
+    caveat: str = ""           # conditionality, substitutions, fragments
+
+    def render(self) -> str:
+        status = {True: "tractable", False: "hard", None: "conditional"}[self.tractable]
+        line = f"{self.task:>9}: {status:<11} {self.bound}  [{self.theorem}; {self.engine}]"
+        if self.caveat:
+            line += f"\n{'':>12}caveat: {self.caveat}"
+        return line
+
+
+@dataclass
+class ComplexityReport:
+    """Structural facts plus per-task verdicts for one query."""
+
+    query_repr: str
+    query_class: str                      # CQ / ACQ / UCQ / NCQ / FO / ...
+    facts: Dict[str, Any] = field(default_factory=dict)
+    verdicts: List[TaskVerdict] = field(default_factory=list)
+
+    def verdict(self, task: str) -> TaskVerdict:
+        for v in self.verdicts:
+            if v.task == task:
+                return v
+        raise KeyError(f"no verdict for task {task!r}")
+
+    def fact(self, name: str, default: Any = None) -> Any:
+        return self.facts.get(name, default)
+
+    def render(self) -> str:
+        lines = [f"query: {self.query_repr}", f"class: {self.query_class}", "facts:"]
+        for name, value in self.facts.items():
+            lines.append(f"  {name} = {value}")
+        lines.append("verdicts:")
+        for v in self.verdicts:
+            lines.append("  " + v.render())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,34 @@
+"""Counting algorithms (Sections 3.2, 4.4 and 5.1).
+
+* :mod:`~repro.counting.weighted` — F-weight functions (Section 4.4);
+* :mod:`~repro.counting.acq_count` — join-tree DP counting for
+  quantifier-free ACQs (Theorem 4.21) and the star-size algorithm for
+  general ACQs (Theorem 4.28);
+* :mod:`~repro.counting.fo_count` — counting over bounded/low-degree
+  structures (Theorem 3.2);
+* :mod:`~repro.counting.matchings` — the perfect-matching connection of
+  Equation 2 / Theorem 4.22 (one quantifier makes #ACQ #P-hard);
+* :mod:`~repro.counting.approx` — the Karp-Luby FPRAS for #DNF and the
+  #Sigma^rel_1 classes (Section 5.1, Definition 5.4);
+* :mod:`~repro.counting.spectrum` — exact polynomial-time counting for
+  #Sigma_0 with free second-order variables (Theorem 5.3).
+"""
+
+from repro.counting.weighted import WeightFunction
+from repro.counting.acq_count import (
+    count_full_acyclic_join,
+    count_quantifier_free_acyclic,
+    count_acq,
+    count_cq_naive,
+)
+from repro.counting.approx import karp_luby_dnf, exact_dnf_count
+
+__all__ = [
+    "WeightFunction",
+    "count_full_acyclic_join",
+    "count_quantifier_free_acyclic",
+    "count_acq",
+    "count_cq_naive",
+    "karp_luby_dnf",
+    "exact_dnf_count",
+]

@@ -1,0 +1,252 @@
+"""Counting answers of acyclic conjunctive queries (Section 4.4).
+
+Three levels, matching the paper's tractability ladder:
+
+* :func:`count_full_acyclic_join` — weighted message passing over a join
+  tree: the #F-ACQ^0 algorithm behind Theorem 4.21.  One bottom-up DP
+  pass; each node aggregates its children's sums through hash probes, so
+  the cost is O(||phi|| * ||D||) (better than the O(||phi|| * ||D||^2)
+  the theorem quotes).
+* :func:`count_quantifier_free_acyclic` — the same on a query + database.
+* :func:`count_acq` — general ACQs via the quantified-star-size
+  decomposition of Theorem 4.28: S-components are collapsed to relations
+  over their free variables (candidate generation over a covering set of
+  s = star-size atoms, then per-candidate satisfiability filtering), and
+  the resulting quantifier-free acyclic query is counted by the DP.
+  Total time ||D||^{O(s)}.
+
+Cross-validation baseline: :func:`count_cq_naive`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.data.database import Database
+from repro.counting.weighted import WeightFunction
+from repro.errors import NotAcyclicError, UnsupportedQueryError
+from repro.eval.join import VarRelation
+from repro.eval.naive import cq_is_satisfiable_naive, evaluate_cq_naive
+from repro.eval.yannakakis import full_reducer, yannakakis_boolean
+from repro.hypergraph.components import free_cover_atoms, s_components
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.jointree import build_join_tree
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.terms import Variable
+
+
+def count_full_acyclic_join(relations: Sequence[VarRelation],
+                            weights: Optional[WeightFunction] = None) -> Any:
+    """Weighted number of tuples in the natural join of ``relations``.
+
+    The relations' variable sets must form an acyclic hypergraph.  Message
+    passing: for each node tuple, the number (weight) of extensions into
+    its subtree; each variable's weight is charged at the unique top node
+    of its occurrence subtree.
+    """
+    w = weights or WeightFunction.ones()
+    relations = list(relations)
+    if not relations:
+        return 1
+    if any(len(r.variables) == 0 for r in relations):
+        # zero-ary relations are just truth values
+        for r in relations:
+            if len(r.variables) == 0 and len(r) == 0:
+                return 0
+        relations = [r for r in relations if len(r.variables) > 0]
+        if not relations:
+            return 1
+    h = Hypergraph(
+        {v for r in relations for v in r.variables},
+        [frozenset(r.variables) for r in relations],
+    )
+    tree = build_join_tree(h)
+
+    # variables charged at each node: those absent from the parent
+    charged: Dict[int, Tuple[Variable, ...]] = {}
+    seen_top: Set[Variable] = set()
+    for node in tree.top_down():
+        parent = tree.parent[node]
+        here = relations[node].variables
+        if parent is None:
+            mine = tuple(here)
+        else:
+            parent_vars = set(relations[parent].variables)
+            mine = tuple(v for v in here if v not in parent_vars and v not in seen_top)
+        charged[node] = mine
+        seen_top.update(mine)
+
+    # messages[child]: key over shared-with-parent vars -> sum of weights
+    messages: Dict[int, Dict[Tuple[Any, ...], Any]] = {}
+    share_vars: Dict[int, Tuple[Variable, ...]] = {}
+    for node in tree.bottom_up():
+        rel = relations[node]
+        parent = tree.parent[node]
+        if parent is None:
+            shared: Tuple[Variable, ...] = ()
+        else:
+            parent_vars = set(relations[parent].variables)
+            shared = tuple(v for v in rel.variables if v in parent_vars)
+        share_vars[node] = shared
+        charged_pos = [rel.position(v) for v in charged[node]]
+        shared_pos = [rel.position(v) for v in shared]
+        child_info = [
+            (messages[c],
+             [rel.position(v) for v in share_vars[c]])
+            for c in tree.children[node]
+        ]
+        msg: Dict[Tuple[Any, ...], Any] = {}
+        for t in rel:
+            value: Any = 1
+            for v_pos in charged_pos:
+                value = value * w(t[v_pos])
+            dead = False
+            for child_msg, key_pos in child_info:
+                factor = child_msg.get(tuple(t[p] for p in key_pos))
+                if factor is None:
+                    dead = True
+                    break
+                value = value * factor
+            if dead:
+                continue
+            key = tuple(t[p] for p in shared_pos)
+            msg[key] = msg.get(key, 0) + value
+        messages[node] = msg
+
+    root_msg = messages[tree.root]
+    return root_msg.get((), 0)
+
+
+def count_quantifier_free_acyclic(cq: ConjunctiveQuery, db: Database,
+                                  weights: Optional[WeightFunction] = None) -> Any:
+    """#F-ACQ^0 (Theorem 4.21): weighted count of a projection-free ACQ."""
+    if not cq.is_quantifier_free():
+        raise UnsupportedQueryError(
+            "count_quantifier_free_acyclic needs a quantifier-free query; "
+            "use count_acq for projections"
+        )
+    if cq.has_comparisons():
+        raise UnsupportedQueryError("comparisons are not supported in counting")
+    from repro.eval.yannakakis import materialise_atoms
+
+    return count_full_acyclic_join(materialise_atoms(cq, db), weights)
+
+
+def derive_counting_join(cq: ConjunctiveQuery, db: Database
+                         ) -> Optional[List[VarRelation]]:
+    """The star-size decomposition behind Theorem 4.28.
+
+    Returns derived relations over free variables whose join *is* phi(D),
+    or None when the query is unsatisfiable.  Cost ||D||^{O(s)}, s the
+    quantified star size: per component, candidates come from joining the
+    s covering atoms' (reduced) relations and each candidate is verified
+    by one Boolean satisfiability check of the component.
+    """
+    free = cq.free_variables()
+    h = cq.hypergraph()
+    tree, reduced = full_reducer(cq, db)
+    if any(len(r) == 0 for r in reduced):
+        return None
+
+    derived: List[VarRelation] = []
+    for i, atom in enumerate(cq.atoms):
+        if atom.variable_set() <= free:
+            derived.append(reduced[i])
+
+    for comp in s_components(h, free):
+        f_vars = tuple(sorted(comp.s_vertices, key=lambda v: v.name))
+        if not f_vars:
+            continue  # satisfiability already enforced by the full reducer
+        cover = free_cover_atoms(h, comp)
+        # fast path: a single covering atom (star size 1 locally) — its
+        # reduced relation projects exactly onto pi_{F_i}(phi(D))
+        if len(cover) == 1:
+            derived.append(reduced[cover[0]].project(f_vars))
+            continue
+        # candidates: join of the covering atoms' reduced relations
+        candidate_rel = reduced[cover[0]]
+        for j in cover[1:]:
+            candidate_rel = candidate_rel.join(reduced[j])
+        candidates = candidate_rel.project(f_vars)
+        # verify each candidate against the whole component, probing the
+        # already-reduced relations (no re-materialisation per candidate)
+        comp_relations = [reduced[j] for j in comp.edge_indexes]
+        verified = VarRelation(f_vars)
+        for t in candidates:
+            if _component_satisfiable(comp_relations, dict(zip(f_vars, t))):
+                verified.add(t)
+        derived.append(verified)
+    return derived
+
+
+def _component_satisfiable(relations: List[VarRelation],
+                           assignment: Dict[Variable, Any]) -> bool:
+    """Does the candidate assignment of the component's free variables
+    extend to all component atoms?  Backtracking over the (reduced)
+    relations with hash probes — most-bound-first order."""
+    remaining = list(relations)
+    order: List[VarRelation] = []
+    bound = set(assignment)
+    while remaining:
+        best = max(remaining,
+                   key=lambda r: sum(1 for v in r.variables if v in bound))
+        remaining.remove(best)
+        order.append(best)
+        bound.update(best.variables)
+
+    def backtrack(i: int, env: Dict[Variable, Any]) -> bool:
+        if i == len(order):
+            return True
+        rel = order[i]
+        for t in rel.probe_assignment(env):
+            added = []
+            ok = True
+            for v, val in zip(rel.variables, t):
+                if v in env:
+                    if env[v] != val:
+                        ok = False
+                        break
+                else:
+                    env[v] = val
+                    added.append(v)
+            if ok and backtrack(i + 1, env):
+                for v in added:
+                    del env[v]
+                return True
+            for v in added:
+                del env[v]
+        return False
+
+    return backtrack(0, dict(assignment))
+
+
+def count_acq(cq: ConjunctiveQuery, db: Database,
+              weights: Optional[WeightFunction] = None) -> Any:
+    """#ACQ via quantified star size (Theorem 4.28): weighted count of the
+    *answers* (distinct head tuples) of an acyclic CQ.
+
+    Weights apply to the free variables (answers are tuples over the
+    head), matching the #F-CQ definition of Section 4.4.
+    """
+    if cq.has_comparisons():
+        raise UnsupportedQueryError("comparisons are not supported in counting")
+    if not cq.is_acyclic():
+        raise NotAcyclicError(f"query {cq!r} is not acyclic; use count_cq_naive")
+    derived = derive_counting_join(cq, db)
+    if derived is None:
+        return 0
+    if cq.is_boolean():
+        return 1  # satisfiable (derived is not None) and the only answer is ()
+    if any(len(r) == 0 for r in derived):
+        return 0
+    return count_full_acyclic_join(derived, weights)
+
+
+def count_cq_naive(cq: ConjunctiveQuery, db: Database,
+                   weights: Optional[WeightFunction] = None) -> Any:
+    """Ground truth: materialise the answers, sum the weights."""
+    w = weights or WeightFunction.ones()
+    total: Any = 0
+    for tup in evaluate_cq_naive(cq, db):
+        total = total + w.tuple_weight(tup)
+    return total

@@ -1,0 +1,30 @@
+"""Counting first-order answers over sparse structures (Theorem 3.2).
+
+Thin facade over the local-pattern machinery of
+:mod:`repro.enumeration.bounded_degree`: on bounded-degree (and, with
+pseudo-linear cost, low-degree) classes, counting the satisfying
+assignments or the distinct answers of a local pattern is linear in
+||D|| for a fixed pattern.
+"""
+
+from __future__ import annotations
+
+from repro.data.database import Database
+from repro.enumeration.bounded_degree import Pattern, count_pattern, model_check_pattern
+
+
+def count_assignments(pattern: Pattern, db: Database) -> int:
+    """Number of satisfying assignments of all pattern variables —
+    Theorem 3.2's counting statement, linear time on bounded degree."""
+    return count_pattern(pattern, db, distinct_head=False)
+
+
+def count_answers(pattern: Pattern, db: Database) -> int:
+    """Number of distinct head tuples (requires no cross-component
+    disequalities — see count_pattern)."""
+    return count_pattern(pattern, db, distinct_head=True)
+
+
+def decide(pattern: Pattern, db: Database) -> bool:
+    """Theorem 3.1: linear-time model checking on bounded degree."""
+    return model_check_pattern(pattern, db)

@@ -1,0 +1,56 @@
+"""F-weight functions (paper Section 4.4).
+
+A weight function maps domain elements into a field F (any Python
+numeric type with + and *); the weight of an answer tuple is the product
+of its coordinates' weights.  The *weighted counting problem* #F-CQ asks
+for the sum of the weights of all answers — ordinary counting is the
+special case w = 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Union
+
+
+class WeightFunction:
+    """w : Dom(D) -> F, with product lifting to tuples.
+
+    Built from a mapping (missing elements default to ``default``) or a
+    callable.
+    """
+
+    def __init__(self, source: Union[Mapping[Any, Any], Callable[[Any], Any], None] = None,
+                 default: Any = 1):
+        self._default = default
+        if source is None:
+            self._fn: Callable[[Any], Any] = lambda _x: default
+        elif callable(source):
+            self._fn = source
+        else:
+            mapping = dict(source)
+            self._fn = lambda x: mapping.get(x, default)
+
+    def __call__(self, element: Any) -> Any:
+        return self._fn(element)
+
+    def tuple_weight(self, tup: Iterable[Any]) -> Any:
+        """w(a) = prod_i w(a_i)."""
+        weight: Any = 1
+        for value in tup:
+            weight = weight * self._fn(value)
+        return weight
+
+    @classmethod
+    def ones(cls) -> "WeightFunction":
+        """The counting weight (every element weighs 1)."""
+        return cls(None, default=1)
+
+
+def sum_of_weights(answers: Iterable[Iterable[Any]],
+                   weights: Optional[WeightFunction] = None) -> Any:
+    """Reference implementation: sum of tuple weights over an answer set."""
+    w = weights or WeightFunction.ones()
+    total: Any = 0
+    for tup in answers:
+        total = total + w.tuple_weight(tup)
+    return total

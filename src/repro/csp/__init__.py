@@ -1,0 +1,26 @@
+"""Negative conjunctive queries and CSP (Section 4.5, Theorem 4.31).
+
+An NCQ over the Boolean domain with singleton relations is CNF-SAT in its
+negative encoding; beta-acyclic NCQs are decidable in quasi-linear time by
+Davis-Putnam resolution driven by a nest-point elimination order — the
+two tools the paper names.  Modules:
+
+* :mod:`~repro.csp.cnf` — clause representation, NCQ <-> CNF translation;
+* :mod:`~repro.csp.davis_putnam` — ordered DP resolution with statistics;
+* :mod:`~repro.csp.ncq_solver` — the decision procedure: nest-point DP
+  for beta-acyclic Boolean-domain queries, backtracking otherwise.
+"""
+
+from repro.csp.cnf import Clause, ncq_to_clauses, clauses_satisfiable_bruteforce
+from repro.csp.davis_putnam import davis_putnam, DPStats
+from repro.csp.ncq_solver import decide_ncq, solve_negative_csp
+
+__all__ = [
+    "Clause",
+    "ncq_to_clauses",
+    "clauses_satisfiable_bruteforce",
+    "davis_putnam",
+    "DPStats",
+    "decide_ncq",
+    "solve_negative_csp",
+]

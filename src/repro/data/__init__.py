@@ -1,0 +1,22 @@
+"""In-memory relational database substrate.
+
+This subpackage provides the data layer every algorithm in the library runs
+against: :class:`~repro.data.relation.Relation` (a named finite set of
+tuples with on-demand hash indexes), :class:`~repro.data.database.Database`
+(a finite relational structure in the sense of Section 2.1 of the paper),
+the functional-structure re-encoding of Section 4.3, and synthetic instance
+generators used by the examples, tests and benchmarks.
+"""
+
+from repro.data.relation import Relation
+from repro.data.database import Database
+from repro.data.functional import FunctionalStructure, to_functional_structure
+from repro.data import generators
+
+__all__ = [
+    "Relation",
+    "Database",
+    "FunctionalStructure",
+    "to_functional_structure",
+    "generators",
+]

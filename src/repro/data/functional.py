@@ -1,0 +1,123 @@
+"""Functional-structure view of a database (paper Section 4.3).
+
+A database D with relations R_1..R_s over domain D can be re-encoded as a
+*functional structure*
+
+    F = < F ; D, D_1, ..., D_s, f_1, ..., f_p >
+
+where ``p = max arity``, each ``D_i`` is a fresh set of elements
+representing the tuples of ``R_i``, the unary relation ``D`` marks the
+original domain, ``bottom`` is an extra sink element, and each ``f_j`` maps
+a tuple-element of ``D_i`` to its j-th coordinate (or to ``bottom`` when
+``j > ar(R_i)``).
+
+This encoding is the workhorse of two algorithms in the paper: the
+quantifier-elimination procedure for bounded-degree structures (Section
+3.1, Example 3.3 — bounded-degree relations become collections of partial
+injective-ish unary functions) and the cover-based elimination of
+disequalities (Section 4.3).  Its key property is that every conjunctive
+acyclic query translates into an acyclic *functional* query whose
+atoms are equalities between unary-function terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.data.database import Database
+
+BOTTOM = "__bottom__"
+
+
+@dataclass
+class TupleElement:
+    """An element of F representing one tuple of one relation."""
+
+    relation: str
+    tup: Tuple[Any, ...]
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.tup))
+
+    def __repr__(self) -> str:
+        return f"<{self.relation}{self.tup}>"
+
+
+@dataclass
+class FunctionalStructure:
+    """The functional structure F built from a database.
+
+    Attributes
+    ----------
+    domain_elements:
+        The original database domain (interpreted by the unary predicate D).
+    tuple_elements:
+        ``{relation name: list of TupleElement}`` — the D_i sorts.
+    max_arity:
+        p, the number of projection functions f_1..f_p.
+    """
+
+    domain_elements: List[Any]
+    tuple_elements: Dict[str, List[TupleElement]]
+    max_arity: int
+    _domain_set: set = field(default_factory=set, repr=False)
+
+    def __post_init__(self) -> None:
+        self._domain_set = set(self.domain_elements)
+
+    # The sorts --------------------------------------------------------------
+
+    def is_domain(self, x: Any) -> bool:
+        """Unary predicate D: x is an original domain element."""
+        return x in self._domain_set
+
+    def in_sort(self, x: Any, relation: str) -> bool:
+        """Unary predicate D_i: x represents a tuple of ``relation``."""
+        return isinstance(x, TupleElement) and x.relation == relation
+
+    def sort(self, relation: str) -> List[TupleElement]:
+        return self.tuple_elements[relation]
+
+    # The projection functions -----------------------------------------------
+
+    def f(self, j: int, x: Any) -> Any:
+        """Projection f_j (1-based).  Returns BOTTOM outside its domain."""
+        if not 1 <= j <= self.max_arity:
+            raise IndexError(f"projection index {j} out of range 1..{self.max_arity}")
+        if isinstance(x, TupleElement) and j <= len(x.tup):
+            return x.tup[j - 1]
+        return BOTTOM
+
+    def all_elements(self) -> List[Any]:
+        """F = D + all D_i + {bottom}."""
+        out: List[Any] = list(self.domain_elements)
+        for elems in self.tuple_elements.values():
+            out.extend(elems)
+        out.append(BOTTOM)
+        return out
+
+    def size(self) -> int:
+        return len(self.domain_elements) + sum(
+            len(v) for v in self.tuple_elements.values()
+        ) + 1
+
+
+def to_functional_structure(db: Database,
+                            relations: Optional[List[str]] = None) -> FunctionalStructure:
+    """Encode ``db`` (or the named subset of its relations) functionally.
+
+    Runs in time linear in ||D||.
+    """
+    names = relations if relations is not None else db.relation_names()
+    tuple_elements: Dict[str, List[TupleElement]] = {}
+    max_arity = 1
+    for name in names:
+        rel = db.relation(name)
+        tuple_elements[name] = [TupleElement(name, t) for t in rel]
+        max_arity = max(max_arity, rel.arity)
+    return FunctionalStructure(
+        domain_elements=db.domain,
+        tuple_elements=tuple_elements,
+        max_arity=max_arity,
+    )

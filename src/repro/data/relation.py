@@ -1,0 +1,183 @@
+"""Finite relations: named tuple sets with hash indexes.
+
+A :class:`Relation` is the basic storage unit of the library.  It stores a
+finite set of equal-length tuples and builds hash indexes over column
+subsets lazily, so join algorithms get amortised O(1) probes without paying
+for indexes they never use.
+
+Tuples are stored in insertion order (dict-backed), which gives the linear
+order on the encoding that the RAM model of the paper assumes (Section
+2.3.1): iteration order is deterministic and stable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import MalformedQueryError
+
+Tup = Tuple[Any, ...]
+
+
+class Relation:
+    """A named finite relation of fixed arity.
+
+    Parameters
+    ----------
+    name:
+        The relation symbol this instance interprets.
+    arity:
+        Number of columns.  Every tuple added must have exactly this length.
+    tuples:
+        Optional initial contents; duplicates are silently collapsed.
+    """
+
+    __slots__ = ("name", "arity", "_tuples", "_indexes")
+
+    def __init__(self, name: str, arity: int, tuples: Optional[Iterable[Sequence[Any]]] = None):
+        if arity < 0:
+            raise MalformedQueryError(f"relation {name!r}: arity must be >= 0, got {arity}")
+        self.name = name
+        self.arity = arity
+        # dict used as an insertion-ordered set
+        self._tuples: Dict[Tup, None] = {}
+        # (columns) -> {key tuple -> list of full tuples}
+        self._indexes: Dict[Tuple[int, ...], Dict[Tup, List[Tup]]] = {}
+        if tuples is not None:
+            for t in tuples:
+                self.add(t)
+
+    # ------------------------------------------------------------------ basic
+
+    def add(self, tup: Sequence[Any]) -> None:
+        """Insert a tuple (idempotent)."""
+        t = tuple(tup)
+        if len(t) != self.arity:
+            raise MalformedQueryError(
+                f"relation {self.name!r} has arity {self.arity}, got tuple of length {len(t)}"
+            )
+        if t in self._tuples:
+            return
+        self._tuples[t] = None
+        for cols, index in self._indexes.items():
+            index.setdefault(tuple(t[c] for c in cols), []).append(t)
+
+    def discard(self, tup: Sequence[Any]) -> None:
+        """Remove a tuple if present (invalidates indexes lazily)."""
+        t = tuple(tup)
+        if t in self._tuples:
+            del self._tuples[t]
+            # rebuilding indexes on deletion keeps probe results correct
+            self._indexes.clear()
+
+    def __contains__(self, tup: Sequence[Any]) -> bool:
+        return tuple(tup) in self._tuples
+
+    def __iter__(self) -> Iterator[Tup]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.arity == other.arity
+            and self._tuples.keys() == other._tuples.keys()
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - relations are mutable
+        raise TypeError("Relation objects are mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, arity={self.arity}, size={len(self)})"
+
+    def tuples(self) -> List[Tup]:
+        """Return the contents as a list, in insertion order."""
+        return list(self._tuples)
+
+    def copy(self, name: Optional[str] = None) -> "Relation":
+        """Shallow copy, optionally renamed; indexes are not copied."""
+        r = Relation(name or self.name, self.arity)
+        r._tuples = dict(self._tuples)
+        return r
+
+    # --------------------------------------------------------------- indexing
+
+    def index_on(self, columns: Sequence[int]) -> Dict[Tup, List[Tup]]:
+        """Return (building if needed) a hash index over ``columns``.
+
+        The index maps each distinct projection of a stored tuple on
+        ``columns`` to the list of full tuples having that projection.
+        Building costs one pass over the relation; subsequent calls are O(1).
+        """
+        cols = tuple(columns)
+        for c in cols:
+            if not 0 <= c < self.arity:
+                raise IndexError(f"column {c} out of range for arity {self.arity}")
+        if cols not in self._indexes:
+            index: Dict[Tup, List[Tup]] = {}
+            for t in self._tuples:
+                index.setdefault(tuple(t[c] for c in cols), []).append(t)
+            self._indexes[cols] = index
+        return self._indexes[cols]
+
+    def probe(self, columns: Sequence[int], key: Sequence[Any]) -> List[Tup]:
+        """All tuples whose projection on ``columns`` equals ``key``."""
+        return self.index_on(columns).get(tuple(key), [])
+
+    def distinct(self, columns: Sequence[int]) -> List[Tup]:
+        """Distinct projections of the relation on ``columns``."""
+        return list(self.index_on(columns).keys())
+
+    # ------------------------------------------------------------ set algebra
+
+    def project(self, columns: Sequence[int], name: Optional[str] = None) -> "Relation":
+        """Projection onto ``columns`` (duplicates removed)."""
+        cols = tuple(columns)
+        out = Relation(name or f"{self.name}_proj", len(cols))
+        for t in self._tuples:
+            out.add(tuple(t[c] for c in cols))
+        return out
+
+    def select(self, predicate, name: Optional[str] = None) -> "Relation":
+        """Selection: keep tuples for which ``predicate(tuple)`` is true."""
+        out = Relation(name or f"{self.name}_sel", self.arity)
+        for t in self._tuples:
+            if predicate(t):
+                out.add(t)
+        return out
+
+    def semijoin(self, columns: Sequence[int], other: "Relation",
+                 other_columns: Sequence[int]) -> "Relation":
+        """Semijoin: tuples of ``self`` matching some tuple of ``other``.
+
+        A tuple ``t`` survives iff some ``u`` in ``other`` has
+        ``t[columns] == u[other_columns]``.  Runs in time linear in the two
+        relations (given the indexes).
+        """
+        if len(tuple(columns)) != len(tuple(other_columns)):
+            raise MalformedQueryError("semijoin column lists must have equal length")
+        keys = other.index_on(other_columns)
+        out = Relation(self.name, self.arity)
+        cols = tuple(columns)
+        for t in self._tuples:
+            if tuple(t[c] for c in cols) in keys:
+                out.add(t)
+        return out
+
+    def domain_values(self) -> set:
+        """Set of all values occurring in any column."""
+        vals = set()
+        for t in self._tuples:
+            vals.update(t)
+        return vals
+
+    def size_contribution(self) -> int:
+        """Contribution of this relation to ||D|| (|R| * ar(R))."""
+        return len(self._tuples) * self.arity

@@ -1,0 +1,18 @@
+"""Query evaluation under updates (the survey's conclusion flags this
+direction — [Berkholz-Keppeler-Schweikardt 2017], [Idris-Ugarte-
+Vansummeren 2017] "Dynamic Yannakakis" — as deserving its own survey).
+
+This subpackage is the library's beyond-the-paper extension: a
+counter-based incrementally maintained view of a free-connex ACQ.
+
+* :class:`~repro.dynamic.view.DynamicFreeConnexView` — insert/delete
+  base tuples; per-tuple *support counters* along the free-connex join
+  tree keep track of which tuples still extend downward ("alive"), and
+  the projections of the root's subtrees onto their free variables are
+  maintained as multiplicity-counted relations, so satisfiability,
+  answer counts and answer enumeration never reread the base data.
+"""
+
+from repro.dynamic.view import DynamicFreeConnexView
+
+__all__ = ["DynamicFreeConnexView"]

@@ -1,0 +1,39 @@
+"""Enumeration algorithms (Sections 2.3.3, 3, 4 and 5.2).
+
+Every enumerator follows the two-phase protocol of the paper: an explicit
+*preprocessing* phase building data structures (and finding the first
+solution), then an *enumeration* phase emitting answers one by one without
+repetition.  The phase split is what the delay measures of
+:mod:`repro.perf.delay` instrument.
+
+Engines:
+
+* :mod:`~repro.enumeration.full_acyclic` — constant-delay enumeration of a
+  globally consistent acyclic full join (the kernel under everything);
+* :mod:`~repro.enumeration.acq_linear` — Algorithm 2: linear-delay
+  enumeration of any ACQ (Theorem 4.3);
+* :mod:`~repro.enumeration.free_connex` — constant delay after linear
+  preprocessing for free-connex ACQs (Theorem 4.6);
+* :mod:`~repro.enumeration.ucq_union` — unions of CQs via union extensions
+  (Theorem 4.13);
+* :mod:`~repro.enumeration.disequality` — ACQ with disequalities via the
+  cover machinery (Theorem 4.20);
+* :mod:`~repro.enumeration.bounded_degree` — FO over bounded-degree
+  structures via quantifier elimination (Theorem 3.2, Example 3.3);
+* :mod:`~repro.enumeration.low_degree` — FO-fragment enumeration over
+  low-degree structures (Theorems 3.9-3.10);
+* :mod:`~repro.enumeration.gray` — delta-constant-delay enumeration of
+  Sigma_0 second-order answer sets via Gray codes (Theorem 5.5).
+"""
+
+from repro.enumeration.base import Enumerator
+from repro.enumeration.full_acyclic import FullJoinEnumerator
+from repro.enumeration.acq_linear import LinearDelayACQEnumerator
+from repro.enumeration.free_connex import FreeConnexEnumerator
+
+__all__ = [
+    "Enumerator",
+    "FullJoinEnumerator",
+    "LinearDelayACQEnumerator",
+    "FreeConnexEnumerator",
+]

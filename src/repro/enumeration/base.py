@@ -1,0 +1,60 @@
+"""The two-phase enumeration protocol (paper Section 2.3.3).
+
+An :class:`Enumerator` separates *preprocessing* (allowed to read the whole
+database, builds indexes, finds the first solution) from *enumeration*
+(emits answers one by one, no repetition).  The split is part of the
+complexity claims — Constant-Delay_lin means linear preprocessing and a
+delay depending on the query only — so it is explicit in the API and is
+what :mod:`repro.perf.delay` measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+from repro.errors import EnumerationError
+
+Answer = Tuple[Any, ...]
+
+
+class Enumerator:
+    """Base class: subclasses implement ``_preprocess`` and ``_enumerate``.
+
+    Usage::
+
+        e = SomeEnumerator(query, db)
+        e.preprocess()
+        for answer in e:
+            ...
+
+    Iterating without calling :meth:`preprocess` first triggers it
+    implicitly (convenient in tests; benchmarks call it explicitly so the
+    phases can be timed separately).
+    """
+
+    def __init__(self) -> None:
+        self._preprocessed = False
+
+    def preprocess(self) -> None:
+        """Run the preprocessing phase (idempotent)."""
+        if not self._preprocessed:
+            self._preprocess()
+            self._preprocessed = True
+
+    def __iter__(self) -> Iterator[Answer]:
+        self.preprocess()
+        return self._enumerate()
+
+    # -- to implement ---------------------------------------------------------
+
+    def _preprocess(self) -> None:
+        raise NotImplementedError
+
+    def _enumerate(self) -> Iterator[Answer]:
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------------
+
+    def answers(self) -> list:
+        """Materialise all answers (preprocessing included)."""
+        return list(self)

@@ -1,0 +1,26 @@
+"""Query evaluation engines.
+
+* :mod:`~repro.eval.join` — variable-indexed relations and the relational
+  operators (hash join, semijoin, projection) everything else composes;
+* :mod:`~repro.eval.naive` — baseline evaluation of CQs (backtracking) and
+  of full FO (structural recursion): correct on everything, used as the
+  ground truth in tests and as the "no structure exploited" baseline in
+  benchmarks;
+* :mod:`~repro.eval.yannakakis` — the full reducer and Yannakakis' output-
+  sensitive evaluation of acyclic queries (Theorem 4.2);
+* :mod:`~repro.eval.modelcheck` — Boolean query answering dispatch.
+"""
+
+from repro.eval.join import VarRelation
+from repro.eval.naive import evaluate_cq_naive, evaluate_fo, model_check_fo
+from repro.eval.yannakakis import full_reducer, yannakakis, yannakakis_boolean
+
+__all__ = [
+    "VarRelation",
+    "evaluate_cq_naive",
+    "evaluate_fo",
+    "model_check_fo",
+    "full_reducer",
+    "yannakakis",
+    "yannakakis_boolean",
+]

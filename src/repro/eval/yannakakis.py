@@ -1,0 +1,121 @@
+"""Yannakakis' algorithm for acyclic conjunctive queries (Theorem 4.2).
+
+Three entry points:
+
+* :func:`full_reducer` — the semijoin program: a bottom-up then top-down
+  pass of semijoins along a join tree.  Afterwards the node relations are
+  *globally consistent*: every tuple of every node participates in at
+  least one satisfying assignment of the whole body.  Cost O(||phi||
+  * ||D||) up to hashing.
+* :func:`yannakakis_boolean` — Boolean answering: the query is satisfiable
+  iff no relation becomes empty during the bottom-up pass.
+* :func:`yannakakis` — full output-sensitive evaluation: after reduction,
+  a bottom-up join keeps, at each node, only the columns that are free or
+  still needed higher up, so intermediate results stay within
+  O(||D|| * ||phi(D)||), giving total time O(||phi|| * ||D|| * ||phi(D)||).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.data.database import Database
+from repro.errors import NotAcyclicError
+from repro.eval.join import VarRelation, atom_to_varrelation
+from repro.hypergraph.jointree import JoinTree, build_join_tree
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.terms import Variable
+
+
+def materialise_atoms(cq: ConjunctiveQuery, db: Database) -> List[VarRelation]:
+    """One VarRelation per atom (constants/repeated variables resolved)."""
+    return [atom_to_varrelation(db, atom) for atom in cq.atoms]
+
+
+def full_reducer(cq: ConjunctiveQuery, db: Database,
+                 tree: Optional[JoinTree] = None,
+                 relations: Optional[List[VarRelation]] = None
+                 ) -> Tuple[JoinTree, List[VarRelation]]:
+    """Run the full semijoin reduction.
+
+    Returns the join tree used and the list of reduced relations (indexed
+    like ``cq.atoms``).  Raises :class:`NotAcyclicError` on cyclic queries.
+    """
+    if tree is None:
+        tree = build_join_tree(cq.hypergraph())
+    if relations is None:
+        relations = materialise_atoms(cq, db)
+    relations = list(relations)
+    # bottom-up: parent := parent semijoin child
+    for node in tree.bottom_up():
+        parent = tree.parent[node]
+        if parent is not None:
+            relations[parent] = relations[parent].semijoin(relations[node])
+    # top-down: child := child semijoin parent
+    for node in tree.top_down():
+        for child in tree.children[node]:
+            relations[child] = relations[child].semijoin(relations[node])
+    return tree, relations
+
+
+def yannakakis_boolean(cq: ConjunctiveQuery, db: Database) -> bool:
+    """Satisfiability of an acyclic (Boolean or not) body in O(||phi||*||D||)."""
+    tree = build_join_tree(cq.hypergraph())
+    relations = materialise_atoms(cq, db)
+    if any(len(r) == 0 for r in relations):
+        return False
+    for node in tree.bottom_up():
+        parent = tree.parent[node]
+        if parent is not None:
+            relations[parent] = relations[parent].semijoin(relations[node])
+            if len(relations[parent]) == 0:
+                return False
+    return all(len(relations[n]) > 0 for n in tree.nodes())
+
+
+def yannakakis(cq: ConjunctiveQuery, db: Database) -> VarRelation:
+    """Compute phi(D) for an acyclic CQ, output-sensitively (Theorem 4.2).
+
+    After full reduction, join bottom-up; at each node project onto the
+    variables that are free or shared with the not-yet-joined part, which
+    bounds intermediates by ||D|| * ||phi(D)||.
+    """
+    tree, relations = full_reducer(cq, db)
+    free = cq.free_variables()
+
+    # variables occurring above each node (in its strict ancestors' atoms)
+    above: Dict[int, FrozenSet[Variable]] = {}
+    order = tree.top_down()
+    for node in order:
+        parent = tree.parent[node]
+        if parent is None:
+            above[node] = frozenset()
+        else:
+            above[node] = above[parent] | tree.hypergraph.edges[parent]
+
+    joined: Dict[int, VarRelation] = {}
+    for node in tree.bottom_up():
+        acc = relations[node]
+        for child in tree.children[node]:
+            acc = acc.join(joined[child])
+        keep = [
+            v for v in acc.variables
+            if v in free or v in above[node]
+        ]
+        joined[node] = acc.project(keep)
+
+    result = joined[tree.root]
+    # normalise column order to the head
+    head = tuple(cq.head)
+    if result.variables == head:
+        return result
+    positions = [result.position(v) for v in head]
+    out = VarRelation(head)
+    for t in result:
+        out.add(tuple(t[p] for p in positions))
+    return out
+
+
+def acyclic_answers(cq: ConjunctiveQuery, db: Database) -> Set[Tuple]:
+    """phi(D) as a set of head tuples (convenience wrapper)."""
+    return set(yannakakis(cq, db))

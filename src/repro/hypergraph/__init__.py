@@ -1,0 +1,45 @@
+"""Hypergraph machinery: join trees, acyclicity notions, free-connexity,
+S-components and star sizes, union extensions.
+
+This subpackage implements every structural notion Section 4 of the paper
+builds on:
+
+* :mod:`~repro.hypergraph.hypergraph` — the query hypergraph;
+* :mod:`~repro.hypergraph.jointree` — GYO reduction, join trees,
+  alpha-acyclicity (Section 4.1);
+* :mod:`~repro.hypergraph.acyclicity` — beta-acyclicity and nest-point
+  elimination orders (Definition 4.29, Section 4.5);
+* :mod:`~repro.hypergraph.freeconnex` — free-connexity (Definition 4.4)
+  and free-connex join trees with a free-only root subtree (Figure 1);
+* :mod:`~repro.hypergraph.components` — S-components, S-star size and
+  quantified star size (Definitions 4.23-4.26, Figures 2-3);
+* :mod:`~repro.hypergraph.unionext` — body homomorphisms, provided
+  variables and union extensions for UCQs (Definitions 4.11-4.12).
+"""
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.jointree import JoinTree, gyo_reduction, is_alpha_acyclic, build_join_tree
+from repro.hypergraph.acyclicity import is_beta_acyclic, nest_point_elimination_order
+from repro.hypergraph.freeconnex import is_free_connex, free_connex_join_tree
+from repro.hypergraph.components import (
+    s_components,
+    s_star_size,
+    quantified_star_size,
+    max_independent_subset,
+)
+
+__all__ = [
+    "Hypergraph",
+    "JoinTree",
+    "gyo_reduction",
+    "is_alpha_acyclic",
+    "build_join_tree",
+    "is_beta_acyclic",
+    "nest_point_elimination_order",
+    "is_free_connex",
+    "free_connex_join_tree",
+    "s_components",
+    "s_star_size",
+    "quantified_star_size",
+    "max_independent_subset",
+]

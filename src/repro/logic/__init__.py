@@ -1,0 +1,32 @@
+"""Query languages: terms, atoms, CQ/UCQ/NCQ and full first-order logic.
+
+The classes here are immutable ASTs.  Conjunctive queries
+(:class:`~repro.logic.cq.ConjunctiveQuery`) are the central object of
+Section 4 of the paper; they optionally carry comparison atoms (<, <=, !=)
+for the ACQ< / ACQ!= fragments of Section 4.3.  Unions
+(:class:`~repro.logic.ucq.UnionOfConjunctiveQueries`) and negative queries
+(:class:`~repro.logic.ncq.NegativeConjunctiveQuery`) cover Sections 4.2 and
+4.5.  Full FO (:mod:`repro.logic.fo`) with prefix classification
+(:mod:`repro.logic.prefix`) covers Sections 3 and 5.
+"""
+
+from repro.logic.terms import Variable, Constant, Term
+from repro.logic.atoms import Atom, Comparison
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.ucq import UnionOfConjunctiveQueries
+from repro.logic.ncq import NegativeConjunctiveQuery
+from repro.logic.parser import parse_query
+from repro.logic import fo
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "Term",
+    "Atom",
+    "Comparison",
+    "ConjunctiveQuery",
+    "UnionOfConjunctiveQueries",
+    "NegativeConjunctiveQuery",
+    "parse_query",
+    "fo",
+]

@@ -1,0 +1,175 @@
+"""Atomic formulas: relational atoms and comparison atoms.
+
+A relational :class:`Atom` is ``R(t_1, ..., t_k)`` with each ``t_i`` a
+variable or constant.  A :class:`Comparison` is ``t op t'`` for
+``op in {<, <=, !=, =}`` — the extensions of Section 4.3 of the paper
+(ACQ<, ACQ<=, ACQ!=).  Comparisons never contribute hyperedges to the query
+hypergraph ("comparisons are not taken into account to measure
+acyclicity").
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+from repro.logic.terms import Constant, Term, Variable, as_term
+
+COMPARISON_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "!=": operator.ne,
+    "=": operator.eq,
+}
+
+
+class Atom:
+    """A relational atom R(t1, ..., tk)."""
+
+    __slots__ = ("relation", "terms")
+
+    def __init__(self, relation: str, terms: Sequence[Any]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(as_term(t) for t in terms))
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        raise AttributeError("Atom is immutable")
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """Variables in order of first occurrence."""
+        seen: Dict[Variable, None] = {}
+        for t in self.terms:
+            if isinstance(t, Variable):
+                seen.setdefault(t, None)
+        return tuple(seen)
+
+    def variable_set(self) -> FrozenSet[Variable]:
+        return frozenset(t for t in self.terms if isinstance(t, Variable))
+
+    def constants(self) -> Tuple[Constant, ...]:
+        return tuple(t for t in self.terms if isinstance(t, Constant))
+
+    def substitute(self, assignment: Mapping[Variable, Any]) -> "Atom":
+        """Replace variables bound in ``assignment`` by constants."""
+        new_terms = [
+            Constant(assignment[t]) if isinstance(t, Variable) and t in assignment else t
+            for t in self.terms
+        ]
+        return Atom(self.relation, new_terms)
+
+    def matches(self, tup: Sequence[Any]) -> bool:
+        """Whether a database tuple is consistent with this atom's constants
+        and repeated variables."""
+        if len(tup) != len(self.terms):
+            return False
+        binding: Dict[Variable, Any] = {}
+        for term, value in zip(self.terms, tup):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    return False
+            else:
+                if term in binding:
+                    if binding[term] != value:
+                        return False
+                else:
+                    binding[term] = value
+        return True
+
+    def bind(self, tup: Sequence[Any]) -> Dict[Variable, Any]:
+        """The variable binding induced by matching ``tup`` (assumes
+        :meth:`matches` holds)."""
+        binding: Dict[Variable, Any] = {}
+        for term, value in zip(self.terms, tup):
+            if isinstance(term, Variable):
+                binding[term] = value
+        return binding
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self.relation == other.relation
+            and self.terms == other.terms
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.terms))
+
+    def __repr__(self) -> str:
+        args = ", ".join(map(repr, self.terms))
+        return f"{self.relation}({args})"
+
+
+class Comparison:
+    """A comparison atom ``left op right`` with op in <, <=, >, >=, !=, =."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, left: Any, op: str, right: Any):
+        if op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "left", as_term(left))
+        object.__setattr__(self, "right", as_term(right))
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        raise AttributeError("Comparison is immutable")
+
+    def variables(self) -> Tuple[Variable, ...]:
+        out = []
+        for t in (self.left, self.right):
+            if isinstance(t, Variable) and t not in out:
+                out.append(t)
+        return tuple(out)
+
+    def variable_set(self) -> FrozenSet[Variable]:
+        return frozenset(self.variables())
+
+    def is_disequality(self) -> bool:
+        return self.op == "!="
+
+    def is_order_comparison(self) -> bool:
+        return self.op in ("<", "<=", ">", ">=")
+
+    def evaluate(self, assignment: Mapping[Variable, Any]) -> bool:
+        """Evaluate under a (total, for this atom's variables) assignment."""
+
+        def value_of(t: Term) -> Any:
+            if isinstance(t, Constant):
+                return t.value
+            return assignment[t]
+
+        return COMPARISON_OPS[self.op](value_of(self.left), value_of(self.right))
+
+    def substitute(self, assignment: Mapping[Variable, Any]) -> "Comparison":
+        def sub(t: Term) -> Term:
+            if isinstance(t, Variable) and t in assignment:
+                return Constant(assignment[t])
+            return t
+
+        return Comparison(sub(self.left), self.op, sub(self.right))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+def evaluate_comparisons(comparisons: Iterable[Comparison],
+                         assignment: Mapping[Variable, Any]) -> bool:
+    """All comparisons hold under ``assignment``."""
+    return all(c.evaluate(assignment) for c in comparisons)

@@ -1,0 +1,61 @@
+"""Fluent programmatic query construction.
+
+A tiny convenience layer over the AST constructors, for when a query is
+assembled by code (generators, reductions) rather than parsed:
+
+>>> from repro.logic.builder import Q
+>>> q = Q("x", "y").where("R", "x", "z").where("S", "z", "y").build()
+>>> q.arity
+2
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.logic.atoms import Atom, Comparison
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.ncq import NegativeConjunctiveQuery
+from repro.logic.ucq import UnionOfConjunctiveQueries
+
+
+class QueryBuilder:
+    """Accumulates atoms/comparisons, then builds an immutable query."""
+
+    def __init__(self, *head: Any, name: str = "Q"):
+        self._head = list(head)
+        self._name = name
+        self._atoms: List[Atom] = []
+        self._negated: List[Atom] = []
+        self._comparisons: List[Comparison] = []
+
+    def where(self, relation: str, *terms: Any) -> "QueryBuilder":
+        """Add a positive relational atom."""
+        self._atoms.append(Atom(relation, terms))
+        return self
+
+    def where_not(self, relation: str, *terms: Any) -> "QueryBuilder":
+        """Add a negated relational atom (builds an NCQ)."""
+        self._negated.append(Atom(relation, terms))
+        return self
+
+    def compare(self, left: Any, op: str, right: Any) -> "QueryBuilder":
+        """Add a comparison atom (<, <=, >, >=, !=, =)."""
+        self._comparisons.append(Comparison(left, op, right))
+        return self
+
+    def build(self) -> ConjunctiveQuery:
+        return ConjunctiveQuery(self._head, self._atoms, self._comparisons, name=self._name)
+
+    def build_negative(self) -> NegativeConjunctiveQuery:
+        return NegativeConjunctiveQuery(self._head, self._negated, name=self._name)
+
+
+def Q(*head: Any, name: str = "Q") -> QueryBuilder:
+    """Start building a query with the given head variables."""
+    return QueryBuilder(*head, name=name)
+
+
+def union(*queries: ConjunctiveQuery, name: str = "Q") -> UnionOfConjunctiveQueries:
+    """Union of already-built conjunctive queries."""
+    return UnionOfConjunctiveQueries(queries, name=name)

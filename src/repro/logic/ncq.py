@@ -1,0 +1,83 @@
+"""Negative conjunctive queries (paper Section 4.5, Definition 4.30).
+
+An NCQ is ``phi(x) = exists y  /\\_i NOT R_i(z_i)``.  Over the Boolean
+domain with singleton relations this is exactly CNF-SAT in its negative
+encoding; beta-acyclic NCQs are decidable in quasi-linear time
+(Theorem 4.31) by Davis-Putnam resolution driven by a nest-point
+elimination order — implemented in :mod:`repro.csp`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.errors import MalformedQueryError
+from repro.logic.atoms import Atom
+from repro.logic.terms import Variable, as_term
+
+
+class NegativeConjunctiveQuery:
+    """exists y /\\_i NOT R_i(z_i) with ordered free variables ``head``."""
+
+    __slots__ = ("name", "head", "atoms")
+
+    def __init__(self, head: Sequence[Any], atoms: Sequence[Atom], name: str = "Q"):
+        head_vars: List[Variable] = []
+        for h in head:
+            t = as_term(h)
+            if not isinstance(t, Variable):
+                raise MalformedQueryError(f"head terms must be variables, got {t!r}")
+            if t in head_vars:
+                raise MalformedQueryError(f"duplicate head variable {t!r}")
+            head_vars.append(t)
+        atoms = tuple(atoms)
+        if not atoms:
+            raise MalformedQueryError("an NCQ needs at least one (negated) atom")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "head", tuple(head_vars))
+        object.__setattr__(self, "atoms", atoms)
+        body_vars = self.variable_set()
+        for v in head_vars:
+            if v not in body_vars:
+                raise MalformedQueryError(f"head variable {v!r} does not occur in the body")
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        raise AttributeError("NegativeConjunctiveQuery is immutable")
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    def variables(self) -> Tuple[Variable, ...]:
+        seen: Dict[Variable, None] = {}
+        for atom in self.atoms:
+            for v in atom.variables():
+                seen.setdefault(v, None)
+        return tuple(seen)
+
+    def variable_set(self) -> FrozenSet[Variable]:
+        return frozenset(self.variables())
+
+    def relation_names(self) -> List[str]:
+        out: Dict[str, None] = {}
+        for atom in self.atoms:
+            out.setdefault(atom.relation, None)
+        return list(out)
+
+    def hypergraph(self):
+        from repro.hypergraph.hypergraph import Hypergraph
+
+        return Hypergraph(self.variable_set(), [a.variable_set() for a in self.atoms])
+
+    def is_beta_acyclic(self) -> bool:
+        from repro.hypergraph.acyclicity import is_beta_acyclic
+
+        return is_beta_acyclic(self.hypergraph())
+
+    def __repr__(self) -> str:
+        head = ", ".join(v.name for v in self.head)
+        body = ", ".join(f"not {a!r}" for a in self.atoms)
+        return f"{self.name}({head}) :- {body}"

@@ -1,0 +1,76 @@
+"""Terms: variables and constants.
+
+Variables are interned by name so that ``Variable("x") is Variable("x")``
+holds within a process; this keeps query objects cheap to compare and lets
+substitutions be plain dicts keyed by the variable itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Union
+
+
+class Variable:
+    """A first-order variable, identified by its name."""
+
+    __slots__ = ("name",)
+    _interned: Dict[str, "Variable"] = {}
+
+    def __new__(cls, name: str) -> "Variable":
+        existing = cls._interned.get(name)
+        if existing is not None:
+            return existing
+        obj = super().__new__(cls)
+        object.__setattr__(obj, "name", name)
+        cls._interned[name] = obj
+        return obj
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        raise AttributeError("Variable is immutable")
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __lt__(self, other: "Variable") -> bool:
+        return self.name < other.name
+
+    # identity-based hash/eq inherited from object is correct under interning
+
+
+class Constant:
+    """A constant symbol wrapping an arbitrary hashable Python value.
+
+    Wrapping (rather than using raw values) keeps atoms unambiguous: a bare
+    string argument in an atom is always a variable, a ``Constant`` is
+    always a database value.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        raise AttributeError("Constant is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Constant", self.value))
+
+    def __repr__(self) -> str:
+        return f"{self.value!r}"
+
+
+Term = Union[Variable, Constant]
+
+
+def as_term(x: Any) -> Term:
+    """Coerce: Variable/Constant pass through, strings become Variables,
+    everything else becomes a Constant."""
+    if isinstance(x, (Variable, Constant)):
+        return x
+    if isinstance(x, str):
+        return Variable(x)
+    return Constant(x)

@@ -1,0 +1,44 @@
+"""MSO on bounded-treewidth structures (Section 3.3).
+
+Courcelle's theorem (3.11) and its counting/enumeration extensions (3.12)
+are reproduced through a *pluggable dynamic-programming framework* over
+tree decompositions: compiling arbitrary MSO into tree automata is
+non-elementary and not exercised by the survey's claims, so — as recorded
+in DESIGN.md — each canonical MSO property (k-colourability, independent
+set, vertex cover, dominating set) ships as a DP specification, and the
+framework delivers exactly the behaviours the theorems assert: linear-time
+decision and counting, and enumeration of the (set-valued!) answers with
+delay linear in the output size.
+
+* :mod:`~repro.mso.treedecomp` — tree decompositions: heuristics
+  (min-degree / min-fill), validation, nice-form normalisation;
+* :mod:`~repro.mso.courcelle` — the DP harness over nice decompositions;
+* :mod:`~repro.mso.properties` — the property specifications;
+* :mod:`~repro.mso.enumeration` — DP-guided enumeration of all satisfying
+  vertex sets (Theorem 3.12), including the Section 3.3.1 example showing
+  why constant delay is impossible for free set variables.
+"""
+
+from repro.mso.treedecomp import TreeDecomposition, tree_decomposition
+from repro.mso.courcelle import run_dp, count_solutions, decide, optimise
+from repro.mso.properties import (
+    IndependentSetProperty,
+    VertexCoverProperty,
+    DominatingSetProperty,
+    ColoringProperty,
+)
+from repro.mso.enumeration import enumerate_solutions
+
+__all__ = [
+    "TreeDecomposition",
+    "tree_decomposition",
+    "run_dp",
+    "count_solutions",
+    "decide",
+    "optimise",
+    "IndependentSetProperty",
+    "VertexCoverProperty",
+    "DominatingSetProperty",
+    "ColoringProperty",
+    "enumerate_solutions",
+]

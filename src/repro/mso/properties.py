@@ -1,0 +1,123 @@
+"""Canonical MSO-definable properties as DP specifications.
+
+Each class instantiates :class:`~repro.mso.courcelle.PropertySpec` with the
+textbook bounded-treewidth dynamic program:
+
+* :class:`IndependentSetProperty` — X independent: labels in/out, an
+  introduced vertex may not be 'in' next to an 'in' bag neighbour.  MSO:
+  forall u, v (X(u) /\\ X(v) -> not E(u, v)).
+* :class:`VertexCoverProperty` — X covers every edge: an introduced
+  vertex 'out' may not see an 'out' neighbour.
+* :class:`DominatingSetProperty` — labels in / dominated / undominated;
+  a vertex may only be forgotten once dominated.
+* :class:`ColoringProperty` — proper k-colouring: labels 0..k-1,
+  adjacent bag vertices must differ.  MSO: the existence of a partition
+  into k independent sets (3-colourability for k = 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Optional, Tuple
+
+from repro.mso.courcelle import PropertySpec
+
+V = Hashable
+
+IN = "in"
+OUT = "out"
+DOMINATED = "dom"
+UNDOMINATED = "und"
+
+
+class IndependentSetProperty(PropertySpec):
+    """Vertex sets X with no edge inside X."""
+
+    labels = (IN, OUT)
+
+    def introduce_labels(self, vertex: V, label: Any, bag_state: Dict[V, Any],
+                         neighbours: Iterable[V]) -> Optional[Dict[V, Any]]:
+        if label == IN and any(bag_state.get(u) == IN for u in neighbours):
+            return None
+        bag_state[vertex] = label
+        return bag_state
+
+    def solution_labels(self) -> Tuple[Any, ...]:
+        return (IN,)
+
+
+class VertexCoverProperty(PropertySpec):
+    """Vertex sets X meeting every edge."""
+
+    labels = (IN, OUT)
+
+    def introduce_labels(self, vertex: V, label: Any, bag_state: Dict[V, Any],
+                         neighbours: Iterable[V]) -> Optional[Dict[V, Any]]:
+        if label == OUT and any(bag_state.get(u) == OUT for u in neighbours):
+            return None
+        bag_state[vertex] = label
+        return bag_state
+
+    def solution_labels(self) -> Tuple[Any, ...]:
+        return (IN,)
+
+
+class DominatingSetProperty(PropertySpec):
+    """Vertex sets X with every vertex in X or adjacent to X."""
+
+    labels = (IN, DOMINATED, UNDOMINATED)
+
+    def introduce_labels(self, vertex: V, label: Any, bag_state: Dict[V, Any],
+                         neighbours: Iterable[V]) -> Optional[Dict[V, Any]]:
+        neighbours = list(neighbours)
+        if label == IN:
+            # the new member dominates its bag neighbours
+            for u in neighbours:
+                if bag_state[u] == UNDOMINATED:
+                    bag_state[u] = DOMINATED
+            bag_state[vertex] = IN
+            return bag_state
+        dominated = any(bag_state[u] == IN for u in neighbours)
+        bag_state[vertex] = DOMINATED if (dominated or label == DOMINATED) else UNDOMINATED
+        # the label argument picks the *claimed* status; only the
+        # consistent claim survives (claiming DOMINATED without a bag
+        # witness is allowed: a future neighbour may still dominate —
+        # soundness is enforced at forget time via the actual flag)
+        if label == DOMINATED and not dominated:
+            # cannot claim domination that has not happened yet
+            return None
+        if label == UNDOMINATED and dominated:
+            return None
+        return bag_state
+
+    def forget_ok(self, vertex: V, label: Any, bag_state: Dict[V, Any]) -> bool:
+        return label in (IN, DOMINATED)
+
+    def join_compatible(self, label_left: Any, label_right: Any) -> Optional[Any]:
+        if (label_left == IN) != (label_right == IN):
+            return None  # membership in X must agree
+        if label_left == IN:
+            return IN
+        if DOMINATED in (label_left, label_right):
+            return DOMINATED
+        return UNDOMINATED
+
+    def solution_labels(self) -> Tuple[Any, ...]:
+        return (IN,)
+
+
+class ColoringProperty(PropertySpec):
+    """Proper k-colourings (k independent sets partitioning V)."""
+
+    def __init__(self, k: int = 3):
+        self.k = k
+        self.labels = tuple(range(k))
+
+    def introduce_labels(self, vertex: V, label: Any, bag_state: Dict[V, Any],
+                         neighbours: Iterable[V]) -> Optional[Dict[V, Any]]:
+        if any(bag_state.get(u) == label for u in neighbours):
+            return None
+        bag_state[vertex] = label
+        return bag_state
+
+    def solution_labels(self) -> Tuple[Any, ...]:
+        return ()  # colourings have no distinguished 'solution set' size

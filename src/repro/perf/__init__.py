@@ -1,0 +1,14 @@
+"""Measurement harness: per-output delay instrumentation and scaling
+experiments (the empirical side of every theorem reproduction)."""
+
+from repro.perf.delay import DelayProfile, measure_enumerator, measure_stream
+from repro.perf.scaling import ScalingResult, run_scaling, loglog_slope
+
+__all__ = [
+    "DelayProfile",
+    "measure_enumerator",
+    "measure_stream",
+    "ScalingResult",
+    "run_scaling",
+    "loglog_slope",
+]

@@ -1,0 +1,91 @@
+"""Per-output delay measurement (the empirical rendering of
+Constant-Delay_lin, Section 2.3.3).
+
+The theorems speak RAM steps; on CPython we measure wall-clock gaps
+between consecutive outputs and compare their *growth in the database
+size* — a constant-delay algorithm shows a flat median-delay curve while
+a linear-delay one grows proportionally.  Medians (and high percentiles)
+are reported instead of means because the first probe after preprocessing
+may fault caches and the GC adds stray spikes.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
+
+
+@dataclass
+class DelayProfile:
+    """Timing of one enumeration run."""
+
+    preprocessing_seconds: float
+    delays_seconds: List[float] = field(default_factory=list)
+    n_outputs: int = 0
+
+    @property
+    def median_delay(self) -> float:
+        return statistics.median(self.delays_seconds) if self.delays_seconds else 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        return statistics.fmean(self.delays_seconds) if self.delays_seconds else 0.0
+
+    @property
+    def max_delay(self) -> float:
+        return max(self.delays_seconds) if self.delays_seconds else 0.0
+
+    def percentile(self, q: float) -> float:
+        """q in (0, 1): the q-th delay quantile."""
+        if not self.delays_seconds:
+            return 0.0
+        ordered = sorted(self.delays_seconds)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    @property
+    def total_seconds(self) -> float:
+        return self.preprocessing_seconds + sum(self.delays_seconds)
+
+    def __repr__(self) -> str:
+        return (
+            f"DelayProfile(pre={self.preprocessing_seconds * 1e3:.2f}ms, "
+            f"outputs={self.n_outputs}, median={self.median_delay * 1e6:.2f}us, "
+            f"p95={self.percentile(0.95) * 1e6:.2f}us, "
+            f"max={self.max_delay * 1e6:.2f}us)"
+        )
+
+
+def measure_enumerator(enumerator, max_outputs: Optional[int] = None) -> DelayProfile:
+    """Time an object following the two-phase protocol of
+    :class:`repro.enumeration.base.Enumerator`."""
+    start = time.perf_counter()
+    enumerator.preprocess()
+    pre = time.perf_counter() - start
+    return _consume(enumerator._enumerate(), pre, max_outputs)
+
+
+def measure_stream(make_iterator: Callable[[], Iterator[Any]],
+                   max_outputs: Optional[int] = None) -> DelayProfile:
+    """Time a bare iterator factory: the factory call is the
+    preprocessing phase, iteration gaps are the delays."""
+    start = time.perf_counter()
+    iterator = make_iterator()
+    pre = time.perf_counter() - start
+    return _consume(iterator, pre, max_outputs)
+
+
+def _consume(iterator: Iterator[Any], pre: float,
+             max_outputs: Optional[int]) -> DelayProfile:
+    profile = DelayProfile(preprocessing_seconds=pre)
+    last = time.perf_counter()
+    for item in iterator:
+        now = time.perf_counter()
+        profile.delays_seconds.append(now - last)
+        profile.n_outputs += 1
+        if max_outputs is not None and profile.n_outputs >= max_outputs:
+            break
+        last = now
+    return profile

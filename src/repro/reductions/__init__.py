@@ -1,0 +1,50 @@
+"""Conditional lower bounds, run as concrete instance transformations.
+
+The survey's lower bounds are conditional on fine-grained hypotheses
+(Mat-Mul, Hyperclique, Triangle); what a reproduction can execute is the
+*reduction* itself and the cost it transfers:
+
+* :mod:`~repro.reductions.bmm` — Boolean matrix multiplication as the
+  query Pi(x, y), and the Theorem 4.8 / Example 4.7 encoding showing a
+  non-free-connex ACQ computes matrix products;
+* :mod:`~repro.reductions.hyperclique` — triangles and k-hypercliques
+  (Theorem 4.9's hypothesis), plus the cyclic triangle query;
+* :mod:`~repro.reductions.clique_inequality` — the Theorem 4.15 encoding
+  of k-clique into ACQ< with the [i, j, b] arithmetic domain;
+* :mod:`~repro.reductions.sat_ncq` — CNF-SAT as an alpha-acyclic NCQ
+  (why Section 4.5 must retreat to beta-acyclicity);
+* :mod:`~repro.reductions.grid_mso` — coloured grids encoding space-time
+  diagrams (why MSO stays hard beyond bounded treewidth, Section 3.3).
+"""
+
+from repro.reductions.bmm import (
+    bmm_query,
+    multiply_boolean_naive,
+    multiply_boolean_numpy,
+    multiply_via_query,
+    example_47_database,
+    example_47_query,
+)
+from repro.reductions.hyperclique import (
+    find_triangle,
+    triangle_query,
+    boolean_triangle_query,
+    find_hyperclique,
+)
+from repro.reductions.clique_inequality import clique_acq_lt_instance
+from repro.reductions.sat_ncq import cnf_as_acyclic_ncq
+
+__all__ = [
+    "bmm_query",
+    "multiply_boolean_naive",
+    "multiply_boolean_numpy",
+    "multiply_via_query",
+    "example_47_database",
+    "example_47_query",
+    "find_triangle",
+    "triangle_query",
+    "boolean_triangle_query",
+    "find_hyperclique",
+    "clique_acq_lt_instance",
+    "cnf_as_acyclic_ncq",
+]

@@ -1,0 +1,31 @@
+"""Sparsity notions (Sections 3.1-3.2): degree, shallow minors,
+nowhere-dense / somewhere-dense classes, low degree.
+
+* :mod:`~repro.sparse.degree` — degree of structures, bounded/low-degree
+  tests (Definitions in Sections 3.1-3.2);
+* :mod:`~repro.sparse.minors` — r-shallow minors and clique-minor search
+  (Definitions 3.4-3.5);
+* :mod:`~repro.sparse.classes` — class descriptors packaging the
+  dichotomy of Theorems 3.6/3.7 as checkable witnesses on instances.
+"""
+
+from repro.sparse.degree import structure_degree, is_degree_bounded, low_degree_epsilon
+from repro.sparse.minors import shallow_minor_clique, has_shallow_clique_minor
+from repro.sparse.classes import (
+    BoundedDegreeClass,
+    LowDegreeClass,
+    GridClass,
+    CliqueClass,
+)
+
+__all__ = [
+    "structure_degree",
+    "is_degree_bounded",
+    "low_degree_epsilon",
+    "shallow_minor_clique",
+    "has_shallow_clique_minor",
+    "BoundedDegreeClass",
+    "LowDegreeClass",
+    "GridClass",
+    "CliqueClass",
+]

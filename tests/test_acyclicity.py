@@ -1,0 +1,78 @@
+"""Unit tests for beta-acyclicity via nest points (Definition 4.29)."""
+
+from repro.hypergraph.acyclicity import (
+    all_subhypergraphs_alpha_acyclic,
+    is_beta_acyclic,
+    nest_point_elimination_order,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def H(*edges):
+    vertices = {v for e in edges for v in e}
+    return Hypergraph(vertices, [frozenset(e) for e in edges])
+
+
+def test_chain_is_beta_acyclic():
+    h = H({"a", "b"}, {"b", "c"}, {"c", "d"})
+    assert is_beta_acyclic(h)
+    order = nest_point_elimination_order(h)
+    assert order is not None
+    assert set(order) == h.vertices
+
+
+def test_nested_edges_are_beta_acyclic():
+    h = H({"a"}, {"a", "b"}, {"a", "b", "c"})
+    assert is_beta_acyclic(h)
+
+
+def test_covered_triangle_is_alpha_not_beta():
+    h = H({"x", "y"}, {"y", "z"}, {"z", "x"}, {"x", "y", "z"})
+    from repro.hypergraph.jointree import is_alpha_acyclic
+
+    assert is_alpha_acyclic(h)
+    assert not is_beta_acyclic(h)
+    assert nest_point_elimination_order(h) is None
+
+
+def test_triangle_is_not_beta_acyclic():
+    assert not is_beta_acyclic(H({"x", "y"}, {"y", "z"}, {"z", "x"}))
+
+
+def test_isolated_vertices_eliminated_first():
+    h = Hypergraph({"a", "b", "lonely"}, [frozenset({"a", "b"})])
+    order = nest_point_elimination_order(h)
+    assert order is not None and order[0] == "lonely"
+
+
+def test_duplicate_edges_do_not_block():
+    h = H({"a", "b"}, {"a", "b"}, {"b", "c"})
+    assert is_beta_acyclic(h)
+
+
+def test_brute_force_agreement_small():
+    """Nest-point characterisation == 'every subhypergraph alpha-acyclic'
+    on an exhaustive family of small hypergraphs."""
+    import itertools
+
+    vertices = ["a", "b", "c", "d"]
+    candidate_edges = [frozenset(e) for r in (1, 2, 3)
+                       for e in itertools.combinations(vertices, r)]
+    import random
+
+    rng = random.Random(7)
+    for _ in range(60):
+        edges = rng.sample(candidate_edges, rng.randint(1, 5))
+        verts = {v for e in edges for v in e}
+        h = Hypergraph(verts, edges)
+        assert is_beta_acyclic(h) == all_subhypergraphs_alpha_acyclic(h), edges
+
+
+def test_beta_acyclic_query_examples():
+    from repro.logic.parser import parse_query
+
+    chain = parse_query("Q() :- not R(x1, x2), not S(x2, x3), not T(x3, x4)")
+    assert chain.is_beta_acyclic()
+    # the SAT-style overlapping clauses of a cycle are not beta-acyclic
+    cyc = parse_query("Q() :- not R(x1, x2), not S(x2, x3), not T(x3, x1)")
+    assert not cyc.is_beta_acyclic()

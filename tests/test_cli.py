@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, load_csv_database, main
+
+
+@pytest.fixture
+def tables(tmp_path):
+    (tmp_path / "R.csv").write_text("1,2\n2,3\n# comment\n\n")
+    (tmp_path / "S.csv").write_text("2,10\n3,30\n")
+    (tmp_path / "Names.csv").write_text("1,ana\n2,bo\n")
+    (tmp_path / "notes.txt").write_text("ignored")
+    return str(tmp_path)
+
+
+def test_load_csv_database(tables):
+    db = load_csv_database(tables)
+    assert set(db.relation_names()) == {"R", "S", "Names"}
+    assert (1, 2) in db.relation("R")
+    assert (1, "ana") in db.relation("Names")  # mixed int/str parsing
+    assert db.relation("R").arity == 2
+
+
+def test_classify_command(capsys):
+    assert main(["classify", "Q(x, y) :- R(x, z), S(z, y)"]) == 0
+    out = capsys.readouterr().out
+    assert "free_connex = False" in out
+    assert "Theorem" in out
+
+
+def test_run_command(tables, capsys):
+    assert main(["run", "Q(x, y) :- R(x, z), S(z, y)", "--data", tables]) == 0
+    out = capsys.readouterr().out
+    assert "1\t10" in out and "2\t30" in out
+
+
+def test_run_count(tables, capsys):
+    assert main(["run", "Q(x, y) :- R(x, z), S(z, y)", "--data", tables,
+                 "--count"]) == 0
+    assert capsys.readouterr().out.strip() == "2"
+
+
+def test_run_limit(tables, capsys):
+    assert main(["run", "Q(x, y) :- R(x, z), S(z, y)", "--data", tables,
+                 "--limit", "1"]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) == 1
+
+
+def test_run_no_answers(tables, capsys):
+    assert main(["run", "Q(x) :- R(x, x)", "--data", tables]) == 0
+    assert "(no answers)" in capsys.readouterr().err
+
+
+def test_figures_command(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out and "Figure 3" in out
+    assert "quantified star size = 3" in out
+
+
+def test_bench_delay_command(capsys):
+    assert main(["bench-delay", "--sizes", "200", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "fc median us" in out
+    assert len(out.strip().splitlines()) == 3
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_doctor_command(capsys):
+    assert main(["doctor", "Q(a, c) :- F(a, b), F(b, c)"]) == 0
+    out = capsys.readouterr().out
+    assert "doctor's note" in out and "free-connex" in out
+
+
+def test_doctor_command_core(capsys):
+    assert main(["doctor", "Q(x) :- F(x, y), F(x, z)"]) == 0
+    out = capsys.readouterr().out
+    assert "core:" in out
+
+
+def test_doctor_on_ncq(capsys):
+    assert main(["doctor", "Q() :- not R(x, y)"]) == 0
+    assert "NCQ" in capsys.readouterr().out

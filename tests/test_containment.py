@@ -1,0 +1,135 @@
+"""Tests for CQ containment, equivalence and cores (Chandra-Merlin)."""
+
+import random
+
+import pytest
+
+from repro.data import generators
+from repro.eval.naive import evaluate_cq_naive
+from repro.logic.containment import (
+    are_equivalent,
+    classify_up_to_equivalence,
+    core,
+    has_homomorphism,
+    homomorphisms,
+    is_contained_in,
+    is_minimal,
+)
+from repro.logic.parser import parse_cq
+
+
+def test_basic_containments():
+    p2 = parse_cq("Q(x) :- E(x, y), E(y, z)")
+    p1 = parse_cq("Q(x) :- E(x, y)")
+    assert is_contained_in(p2, p1)       # longer path is more restrictive
+    assert not is_contained_in(p1, p2)
+
+
+def test_boolean_triangle_contained_in_path():
+    tri = parse_cq("Q() :- E(x, y), E(y, z), E(z, x)")
+    path = parse_cq("Q() :- E(a, b), E(b, c)")
+    assert is_contained_in(tri, path)
+    assert not is_contained_in(path, tri)
+
+
+def test_head_must_align():
+    q1 = parse_cq("Q(x) :- E(x, y)")
+    q2 = parse_cq("Q(y) :- E(x, y)")    # asks for targets, not sources
+    assert not are_equivalent(q1, q2)
+
+
+def test_constants_respected():
+    q1 = parse_cq("Q(x) :- E(x, 1)")
+    q2 = parse_cq("Q(x) :- E(x, y)")
+    assert is_contained_in(q1, q2)
+    assert not is_contained_in(q2, q1)
+
+
+def test_arity_mismatch_never_contained():
+    q1 = parse_cq("Q(x) :- E(x, y)")
+    q2 = parse_cq("Q(x, y) :- E(x, y)")
+    assert not is_contained_in(q1, q2)
+
+
+def test_core_removes_redundant_atom():
+    q = parse_cq("Q(x) :- E(x, y), E(x, z)")
+    c = core(q)
+    assert len(c.atoms) == 1
+    assert not is_minimal(q)
+    assert is_minimal(c)
+    assert are_equivalent(q, c)
+
+
+def test_core_keeps_non_redundant_chain():
+    q = parse_cq("Q(x) :- E(x, y), E(y, z)")
+    assert core(q) == q
+    assert is_minimal(q)
+
+
+def test_core_folds_partial_redundancy():
+    q = parse_cq("Q(x) :- E(x, y), E(x, z), E(y, w)")
+    c = core(q)
+    # E(x, z) folds onto E(x, y); E(y, w) stays
+    assert len(c.atoms) == 2
+    assert are_equivalent(q, c)
+
+
+def test_core_of_self_loop_query():
+    q = parse_cq("Q() :- E(x, x), E(y, z)")
+    c = core(q)
+    assert len(c.atoms) == 1  # E(y, z) maps onto E(x, x)
+    assert are_equivalent(q, c)
+
+
+def test_containment_is_sound_semantically():
+    """If is_contained_in holds, answers are contained on random data."""
+    pairs = [
+        ("Q(x) :- E(x, y), E(y, z)", "Q(x) :- E(x, y)"),
+        ("Q() :- E(x, y), E(y, x)", "Q() :- E(a, b)"),
+        ("Q(x, y) :- E(x, y), F(y)", "Q(x, y) :- E(x, y)"),
+    ]
+    for t1, t2 in pairs:
+        q1, q2 = parse_cq(t1), parse_cq(t2)
+        assert is_contained_in(q1, q2), (t1, t2)
+        for seed in range(4):
+            db = generators.random_database({"E": 2, "F": 1}, 5, 12, seed=seed)
+            assert evaluate_cq_naive(q1, db) <= evaluate_cq_naive(q2, db)
+
+
+def test_core_preserves_semantics_randomized():
+    queries = [
+        "Q(x) :- E(x, y), E(x, z), E(y, w)",
+        "Q() :- E(x, y), E(y, z), E(a, b)",
+        "Q(x, y) :- E(x, y), E(x, w), F(w)",
+    ]
+    for text in queries:
+        q = parse_cq(text)
+        c = core(q)
+        for seed in range(4):
+            db = generators.random_database({"E": 2, "F": 1}, 5, 12, seed=seed)
+            assert evaluate_cq_naive(q, db) == evaluate_cq_naive(c, db), text
+
+
+def test_classification_changes_under_core():
+    """A query that looks hard can have an easy core: the cyclic triangle
+    folds into the self-loop atom, so the core is a one-atom ACQ."""
+    q = parse_cq("Q() :- E(x, y), E(y, z), E(z, x), E(u, u)")
+    assert not q.is_acyclic()  # classified as a cyclic CQ as written
+    minimal, report = classify_up_to_equivalence(q)
+    assert len(minimal.atoms) == 1
+    assert minimal.is_acyclic() and minimal.is_free_connex()
+    assert report.query_class == "ACQ"
+    assert are_equivalent(q, minimal)
+
+
+def test_homomorphism_counts():
+    src = parse_cq("Q() :- E(x, y)")
+    dst = parse_cq("Q() :- E(a, b), E(b, c)")
+    assert len(list(homomorphisms(src, dst))) == 2
+    assert has_homomorphism(src, dst)
+
+
+def test_comparisons_rejected():
+    with pytest.raises(ValueError):
+        is_contained_in(parse_cq("Q(x) :- E(x, y), x != y"),
+                        parse_cq("Q(x) :- E(x, y)"))

@@ -1,0 +1,133 @@
+"""Tests for the counting engines (Theorems 4.21 and 4.28)."""
+
+import pytest
+
+from repro.counting.acq_count import (
+    count_acq,
+    count_cq_naive,
+    count_full_acyclic_join,
+    count_quantifier_free_acyclic,
+    derive_counting_join,
+)
+from repro.counting.weighted import WeightFunction, sum_of_weights
+from repro.data import generators
+from repro.data.database import Database
+from repro.errors import NotAcyclicError, UnsupportedQueryError
+from repro.eval.join import VarRelation
+from repro.eval.naive import evaluate_cq_naive
+from repro.logic.parser import parse_cq
+from repro.logic.terms import Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def test_count_full_acyclic_join_basics():
+    r = VarRelation((x, y), [(1, 2), (2, 3)])
+    s = VarRelation((y, z), [(2, 9), (3, 8), (3, 7)])
+    assert count_full_acyclic_join([r, s]) == 3
+
+
+def test_count_full_acyclic_join_weighted():
+    r = VarRelation((x,), [(1,), (2,)])
+    s = VarRelation((y,), [(10,)])
+    w = WeightFunction({1: 2, 2: 3, 10: 5})
+    # solutions (1,10) and (2,10): 2*5 + 3*5
+    assert count_full_acyclic_join([r, s], w) == 25
+
+
+def test_count_full_join_empty_and_unit():
+    assert count_full_acyclic_join([]) == 1
+    assert count_full_acyclic_join([VarRelation((), [()])]) == 1
+    assert count_full_acyclic_join([VarRelation(())]) == 0
+
+
+def test_quantifier_free_counting_randomized():
+    queries = [
+        "Q(x, y, z) :- R(x, y), S(y, z)",
+        "Q(x, y, z, w) :- R(x, y), S(y, z), T(z, w)",
+        "Q(a, b, c) :- T3(a, b, c), R(a, b)",
+    ]
+    for text in queries:
+        q = parse_cq(text)
+        for seed in range(4):
+            db = generators.random_database(
+                {"R": 2, "S": 2, "T": 2, "T3": 3}, 6, 15, seed=seed)
+            assert count_quantifier_free_acyclic(q, db) == len(
+                evaluate_cq_naive(q, db)), (text, seed)
+
+
+def test_quantifier_free_rejects_projection():
+    db = generators.random_database({"R": 2}, 4, 8, seed=0)
+    with pytest.raises(UnsupportedQueryError):
+        count_quantifier_free_acyclic(parse_cq("Q(x) :- R(x, y)"), db)
+
+
+def test_count_acq_randomized_star_sizes():
+    queries = [
+        "Q(x) :- R(x, z), S(z, y)",                  # star 1
+        "Q(x, y) :- R(x, z), S(z, y)",               # star 2 (Pi)
+        "Q(x, y, w) :- R(x, z), S(z, y), T(z, w)",   # star 3
+        "Q(x1, x2, x3) :- R(x1, x2), S(x2, x3, y3), R(x1, y1), T2(y3, y4, y5), S2(x2, y2)",
+    ]
+    for text in queries:
+        q = parse_cq(text)
+        for seed in range(5):
+            db = generators.random_database(
+                {"R": 2, "S": q.relation_arities().get("S", 2), "T": 2,
+                 "T2": 3, "S2": 2}, 6, 14, seed=seed)
+            assert count_acq(q, db) == len(evaluate_cq_naive(q, db)), (text, seed)
+
+
+def test_count_acq_weighted_matches_reference():
+    q = parse_cq("Q(x, y) :- R(x, z), S(z, y)")
+    for seed in range(4):
+        db = generators.random_database({"R": 2, "S": 2}, 5, 12, seed=seed)
+        w = WeightFunction(lambda v: v + 1)
+        got = count_acq(q, db, w)
+        expected = sum_of_weights(evaluate_cq_naive(q, db), w)
+        assert got == expected, seed
+
+
+def test_count_acq_boolean():
+    q = parse_cq("Q() :- R(x, z), S(z, y)")
+    db = Database.from_relations({"R": [(1, 2)], "S": [(2, 3)]})
+    assert count_acq(q, db) == 1
+    db2 = Database.from_relations({"R": [(1, 2)], "S": [(9, 3)]})
+    assert count_acq(q, db2) == 0
+
+
+def test_count_acq_rejects_cyclic_and_comparisons():
+    db = generators.random_database({"R": 2, "S": 2, "T": 2}, 4, 8, seed=1)
+    with pytest.raises(NotAcyclicError):
+        count_acq(parse_cq("Q(x) :- R(x, y), S(y, z), T(z, x)"), db)
+    with pytest.raises(UnsupportedQueryError):
+        count_acq(parse_cq("Q(x) :- R(x, y), x != y"), db)
+
+
+def test_derive_counting_join_unsatisfiable():
+    db = Database.from_relations({"R": [(1, 2)], "S": [(9, 9)]})
+    q = parse_cq("Q(x, y) :- R(x, z), S(z, y)")
+    assert derive_counting_join(q, db) is None
+
+
+def test_derived_join_covers_free_variables():
+    q = parse_cq("Q(x, y) :- R(x, z), S(z, y)")
+    db = generators.random_database({"R": 2, "S": 2}, 5, 10, seed=3)
+    derived = derive_counting_join(q, db)
+    if derived is not None:
+        covered = {v for r in derived for v in r.variables}
+        assert covered == set(q.free_variables())
+
+
+def test_naive_counting_weighted():
+    q = parse_cq("Q(x) :- R(x, y)")
+    db = Database.from_relations({"R": [(1, 2), (2, 3)]})
+    assert count_cq_naive(q, db) == 2
+    assert count_cq_naive(q, db, WeightFunction({1: 10, 2: 20})) == 30
+
+
+def test_big_counts_are_exact_integers():
+    """No float drift: counts on a cartesian-ish query are exact."""
+    q = parse_cq("Q(a, b) :- R(a, u), S(b, v)")
+    db = generators.random_database({"R": 2, "S": 2}, 30, 200, seed=4)
+    assert count_acq(q, db) == len(evaluate_cq_naive(q, db))

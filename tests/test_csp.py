@@ -1,0 +1,145 @@
+"""Tests for the NCQ / CSP solvers (Theorem 4.31)."""
+
+import random
+
+import pytest
+
+from repro.csp.cnf import (
+    Clause,
+    clause,
+    clauses_satisfiable_bruteforce,
+    cnf_to_ncq,
+    is_tautology,
+    ncq_to_clauses,
+)
+from repro.csp.davis_putnam import DPStats, davis_putnam
+from repro.csp.ncq_solver import decide_ncq, ncq_answers, solve_negative_csp
+from repro.data import generators
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.errors import UnsupportedQueryError
+from repro.hypergraph.acyclicity import nest_point_elimination_order
+from repro.logic.parser import parse_query
+
+
+def test_clause_helpers():
+    assert is_tautology(clause(1, -1, 2))
+    assert not is_tautology(clause(1, 2))
+
+
+def test_cnf_to_ncq_roundtrip():
+    cnf = [[1, -2], [2, 3], [-1, -3]]
+    ncq, db = cnf_to_ncq(cnf, 3)
+    clauses, index = ncq_to_clauses(ncq, db)
+    assert len(clauses) == 3
+    assert clauses_satisfiable_bruteforce(clauses, len(index)) == \
+        clauses_satisfiable_bruteforce([frozenset(c) for c in cnf], 3)
+
+
+def test_ncq_to_clauses_requires_boolean_domain():
+    db = Database.from_relations({"R": [(1, 2)]})
+    q = parse_query("Q() :- not R(x, y)")
+    with pytest.raises(UnsupportedQueryError):
+        ncq_to_clauses(q, db)
+
+
+def test_ncq_to_clauses_constants_and_repeats():
+    # forbidden tuple inconsistent with a repeated variable is skipped
+    db = Database.from_relations({"R": [(0, 1), (0, 0)]}, domain=[0, 1])
+    q = parse_query("Q() :- not R(x, x)")
+    clauses, _ = ncq_to_clauses(q, db)
+    assert len(clauses) == 1  # only (0, 0) matches x, x
+
+
+def test_ncq_to_clauses_fully_constant_violation():
+    db = Database.from_relations({"R": [(0,)], "S": [(1,)]}, domain=[0, 1])
+    q = parse_query("Q() :- not R(0), not S(x)")
+    clauses, _ = ncq_to_clauses(q, db)
+    assert frozenset() in clauses  # not R(0) is plainly false
+
+
+def test_davis_putnam_matches_bruteforce_random():
+    rng = random.Random(0)
+    for trial in range(30):
+        n = rng.randint(3, 7)
+        m = rng.randint(1, 16)
+        cnf = generators.random_kcnf(n, m, k=3, seed=trial)
+        clauses = [frozenset(c) for c in cnf]
+        stats = DPStats()
+        got = davis_putnam(clauses, list(range(1, n + 1)), stats=stats)
+        truth = clauses_satisfiable_bruteforce(clauses, n)
+        assert got == truth, (trial, cnf)
+        assert stats.satisfiable == truth
+
+
+def test_davis_putnam_empty_clause_unsat():
+    assert not davis_putnam([frozenset()], [1])
+
+
+def test_davis_putnam_tautologies_dropped():
+    assert davis_putnam([clause(1, -1)], [1])
+
+
+def test_davis_putnam_stats_recorded():
+    stats = DPStats()
+    davis_putnam([clause(1, 2), clause(-1, 2), clause(-2, 3)], [1, 2, 3], stats)
+    assert stats.eliminations >= 1
+    assert stats.peak_clauses >= 3
+
+
+def test_decide_ncq_beta_acyclic_uses_dp():
+    # chain clauses -> beta-acyclic -> quasi-linear path
+    cnf = [[1, 2], [-2, 3], [-3, 4]]
+    ncq, db = cnf_to_ncq(cnf, 4)
+    assert ncq.is_beta_acyclic()
+    stats = DPStats()
+    assert decide_ncq(ncq, db, stats=stats)
+    assert stats.satisfiable is True  # the DP route was taken
+
+
+def test_decide_ncq_falls_back_on_non_beta_acyclic():
+    cnf = [[1, 2], [-2, 3], [-3, -1]]
+    ncq, db = cnf_to_ncq(cnf, 3)
+    assert not ncq.is_beta_acyclic()
+    assert decide_ncq(ncq, db) == clauses_satisfiable_bruteforce(
+        [frozenset(c) for c in cnf], 3)
+
+
+def test_decide_ncq_non_boolean_domain():
+    # forbid the diagonal over a 3-element domain: satisfiable
+    db = Database.from_relations(
+        {"R": [(v, v) for v in range(3)]}, domain=range(3))
+    q = parse_query("Q() :- not R(x, y)")
+    assert decide_ncq(q, db)
+    # forbid everything: unsatisfiable
+    db2 = Database.from_relations(
+        {"R": [(a, b) for a in range(2) for b in range(2)]}, domain=range(2))
+    assert not decide_ncq(parse_query("Q() :- not R(x, y)"), db2)
+
+
+def test_solve_negative_csp_enumerates_all():
+    db = Database.from_relations({"R": [(0, 0)]}, domain=[0, 1])
+    q = parse_query("Q() :- not R(x, y)")
+    sols = list(solve_negative_csp(q, db))
+    assert len(sols) == 3  # all pairs except (0, 0)
+
+
+def test_ncq_answers_projection():
+    db = Database.from_relations({"R": [(0, 0), (1, 1)]}, domain=[0, 1])
+    q = parse_query("Q(x) :- not R(x, y)")
+    # x = 0 works with y = 1; x = 1 works with y = 0
+    assert ncq_answers(q, db) == {(0,), (1,)}
+
+
+def test_nest_point_order_drives_dp_without_blowup():
+    """On a beta-acyclic chain, the nest-point order keeps the peak clause
+    count linear; a bad order on the same instance can be larger."""
+    n = 30
+    cnf = [[i, -(i + 1)] for i in range(1, n)]
+    ncq, db = cnf_to_ncq(cnf, n)
+    order_vars = nest_point_elimination_order(ncq.hypergraph())
+    assert order_vars is not None
+    clauses, index = ncq_to_clauses(ncq, db)
+    stats = DPStats()
+    davis_putnam(clauses, [index[v] for v in order_vars if v in index], stats)
+    assert stats.peak_clauses <= len(clauses) + 2

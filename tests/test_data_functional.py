@@ -1,0 +1,67 @@
+"""Unit tests for the functional-structure encoding (Section 4.3)."""
+
+from repro.data.database import Database
+from repro.data.functional import BOTTOM, to_functional_structure
+
+
+def test_encoding_shapes():
+    db = Database.from_relations({
+        "R": [(1, 2), (2, 3)],
+        "S": [(1, 2, 3)],
+    })
+    f = to_functional_structure(db)
+    assert f.max_arity == 3
+    assert len(f.sort("R")) == 2
+    assert len(f.sort("S")) == 1
+    # F = domain + tuple elements + bottom
+    assert f.size() == db.domain_size() + 3 + 1
+
+
+def test_projection_functions():
+    db = Database.from_relations({"R": [(10, 20)]})
+    f = to_functional_structure(db)
+    t = f.sort("R")[0]
+    assert f.f(1, t) == 10
+    assert f.f(2, t) == 20
+    # outside arity -> bottom
+    db2 = Database.from_relations({"R": [(10, 20)], "S": [(1, 2, 3)]})
+    f2 = to_functional_structure(db2)
+    t2 = f2.sort("R")[0]
+    assert f2.f(3, t2) == BOTTOM
+
+
+def test_projection_of_domain_element_is_bottom():
+    db = Database.from_relations({"R": [(10, 20)]})
+    f = to_functional_structure(db)
+    assert f.f(1, 10) == BOTTOM
+
+
+def test_sorts_are_disjoint():
+    db = Database.from_relations({"R": [(1, 2)], "S": [(1, 2)]})
+    f = to_functional_structure(db)
+    r_elem = f.sort("R")[0]
+    assert f.in_sort(r_elem, "R")
+    assert not f.in_sort(r_elem, "S")
+    assert f.is_domain(1)
+    assert not f.is_domain(r_elem)
+
+
+def test_index_bounds():
+    import pytest
+
+    db = Database.from_relations({"R": [(1, 2)]})
+    f = to_functional_structure(db)
+    with pytest.raises(IndexError):
+        f.f(0, f.sort("R")[0])
+
+
+def test_all_elements_includes_bottom():
+    db = Database.from_relations({"R": [(1, 2)]})
+    f = to_functional_structure(db)
+    assert BOTTOM in f.all_elements()
+
+
+def test_relation_subset_selection():
+    db = Database.from_relations({"R": [(1, 2)], "S": [(3, 4)]})
+    f = to_functional_structure(db, relations=["R"])
+    assert "S" not in f.tuple_elements

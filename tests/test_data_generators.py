@@ -1,0 +1,84 @@
+"""Unit tests for the synthetic generators."""
+
+from repro.data import generators
+from repro.sparse.degree import low_degree_epsilon
+
+
+def test_random_relation_deterministic():
+    r1 = generators.random_relation("R", 2, range(10), 20, seed=5)
+    r2 = generators.random_relation("R", 2, range(10), 20, seed=5)
+    assert r1 == r2
+
+
+def test_random_database_schema():
+    db = generators.random_database({"R": 2, "S": 3}, 8, 15, seed=1)
+    assert db.relation("R").arity == 2
+    assert db.relation("S").arity == 3
+    assert set(db.domain) >= db.relation("R").domain_values()
+
+
+def test_path_and_cycle_degree():
+    assert generators.path_graph(10).degree() <= 4  # 2 neighbours x 2 orientations
+    cyc = generators.cycle_graph(10)
+    assert all(d == 4 for d in cyc.degrees().values())
+
+
+def test_grid_graph_shape():
+    db = generators.grid_graph(3, 4)
+    assert db.domain_size() == 12
+    # inner vertex (2,2) has 4 neighbours -> degree 8 with both orientations
+    assert db.degrees()[(2, 2)] == 8
+
+
+def test_bounded_degree_generator_respects_bound():
+    for seed in range(3):
+        db = generators.random_bounded_degree_graph(50, 3, seed=seed)
+        # relational degree is twice the graph degree (both orientations)
+        assert db.degree() <= 6
+
+
+def test_bounded_degree_database():
+    db = generators.random_bounded_degree_database(30, 4, {"R": 2, "S": 3}, seed=2)
+    assert db.degree() <= 4
+
+
+def test_clique_plus_independent_is_low_degree():
+    db = generators.clique_plus_independent(4)
+    assert db.domain_size() == 4 + 2 ** 4
+    # degree ~ k on ~2^k vertices: epsilon witness well below 1
+    assert low_degree_epsilon(db) < 0.8
+
+
+def test_low_degree_graph():
+    db = generators.low_degree_graph(256, seed=0)
+    assert db.degree() <= 2 * 9  # max degree log2(256)+1, two orientations
+
+
+def test_bipartite_generator():
+    db, a, b = generators.random_bipartite_graph(5, 0.5, seed=3)
+    assert len(a) == len(b) == 5
+    for u, v in db.relation("E"):
+        assert u in a and v in b
+
+
+def test_matrix_encoding_roundtrip():
+    a = generators.boolean_matrix(4, 0.5, seed=1)
+    b = generators.boolean_matrix(4, 0.5, seed=2)
+    db = generators.matrices_to_database(a, b)
+    assert set(db.relation("A")) == {(i, j) for i in range(4) for j in range(4) if a[i][j]}
+    assert set(db.relation("B")) == {(i, j) for i in range(4) for j in range(4) if b[i][j]}
+
+
+def test_kdnf_and_kcnf_shapes():
+    terms = generators.random_kdnf(10, 7, k=3, seed=4)
+    assert len(terms) == 7
+    assert all(len(t) == 3 for t in terms)
+    assert all(1 <= abs(l) <= 10 for t in terms for l in t)
+    clauses = generators.random_kcnf(10, 7, k=3, seed=4)
+    assert len(clauses) == 7
+
+
+def test_kdnf_no_repeated_variables_in_term():
+    for term in generators.random_kdnf(6, 20, k=3, seed=9):
+        variables = [abs(l) for l in term]
+        assert len(variables) == len(set(variables))

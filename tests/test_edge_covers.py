@@ -1,0 +1,126 @@
+"""Tests for fractional/integral edge covers and the AGM bound."""
+
+import math
+import random
+
+import pytest
+
+from repro.data import generators
+from repro.eval.naive import evaluate_cq_naive
+from repro.hypergraph.edge_covers import (
+    agm_bound,
+    agm_exponent,
+    fractional_edge_cover,
+    fractional_edge_cover_number,
+    integral_edge_cover_number,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.logic.parser import parse_cq
+
+
+def H(*edges):
+    vertices = {v for e in edges for v in e}
+    return Hypergraph(vertices, [frozenset(e) for e in edges])
+
+
+def test_triangle_rho_star_is_three_halves():
+    tri = H({"x", "y"}, {"y", "z"}, {"z", "x"})
+    rho, weights = fractional_edge_cover(tri)
+    assert rho == pytest.approx(1.5)
+    assert all(w == pytest.approx(0.5) for w in weights)
+    assert integral_edge_cover_number(tri) == 2
+
+
+def test_path_rho_star():
+    path = H({"x", "y"}, {"y", "z"})
+    assert fractional_edge_cover_number(path) == pytest.approx(2.0)
+    assert integral_edge_cover_number(path) == 2
+
+
+def test_single_edge():
+    assert fractional_edge_cover_number(H({"x", "y", "z"})) == pytest.approx(1.0)
+    assert integral_edge_cover_number(H({"x", "y", "z"})) == 1
+
+
+def test_empty_hypergraph():
+    h = Hypergraph(set(), [])
+    assert fractional_edge_cover_number(h) == 0.0
+    assert integral_edge_cover_number(h) == 0
+
+
+def test_star_query_cover():
+    # every leaf vertex lies in exactly one edge, so all three edges get
+    # weight 1: rho* = 3
+    h = H({"t", "a"}, {"t", "b"}, {"t", "c"})
+    assert fractional_edge_cover_number(h) == pytest.approx(3.0, abs=1e-6)
+    assert integral_edge_cover_number(h) == 3
+
+
+def test_fractional_at_most_integral():
+    rng = random.Random(0)
+    variables = list("abcdef")
+    for _ in range(20):
+        edges = [frozenset(rng.sample(variables, rng.randint(1, 3)))
+                 for _ in range(rng.randint(1, 5))]
+        h = Hypergraph({v for e in edges for v in e}, edges)
+        assert fractional_edge_cover_number(h) <= \
+            integral_edge_cover_number(h) + 1e-9
+
+
+def test_agm_bound_uses_relation_sizes():
+    """The weighted LP prefers covering with the small relation."""
+    from repro.data.database import Database
+    from repro.data.relation import Relation
+
+    q = parse_cq("Q(x, y) :- R(x, y), S(y, x)")
+    db = Database([Relation("R", 2, [(1, 2)]),
+                   Relation("S", 2, [(i, j) for i in range(5) for j in range(5)])])
+    assert agm_bound(q, db) == pytest.approx(1.0)
+
+
+def test_agm_bound_caps_output_randomized():
+    """|phi(D)| <= AGM bound, on random instances of three query shapes."""
+    shapes = [
+        "Q(x, y, z) :- R(x, y), S(y, z), T(z, x)",   # the triangle
+        "Q(x, y, z) :- R(x, y), S(y, z)",
+        "Q(x, y) :- R(x, y)",
+    ]
+    for text in shapes:
+        q = parse_cq(text)
+        for seed in range(5):
+            db = generators.random_database({"R": 2, "S": 2, "T": 2}, 8, 30,
+                                            seed=seed)
+            answers = evaluate_cq_naive(q, db)
+            assert len(answers) <= agm_bound(q, db) + 1e-6, (text, seed)
+
+
+def test_agm_triangle_exponent():
+    q = parse_cq("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+    assert agm_exponent(q) == pytest.approx(1.5)
+
+
+def test_agm_bound_tight_on_worst_case_triangle():
+    """The classic n^{3/2} instance: tripartite with sqrt(n) fan-out —
+    the AGM bound is met within a constant."""
+    q = parse_cq("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+    from repro.data.database import Database
+    from repro.data.relation import Relation
+
+    m = 5  # |R| = |S| = |T| = m^2
+    r = Relation("R", 2, [((("a", i)), ("b", j)) for i in range(m) for j in range(m)])
+    s = Relation("S", 2, [((("b", i)), ("c", j)) for i in range(m) for j in range(m)])
+    t = Relation("T", 2, [((("c", i)), ("a", j)) for i in range(m) for j in range(m)])
+    db = Database([r, s, t])
+    answers = evaluate_cq_naive(q, db)
+    bound = agm_bound(q, db)
+    assert len(answers) == m ** 3          # n^{3/2} with n = m^2
+    assert bound == pytest.approx(m ** 3)  # the bound is exactly met
+
+
+def test_agm_bound_zero_for_empty_relation():
+    q = parse_cq("Q(x, y) :- R(x, y), S(y, x)")
+    from repro.data.database import Database
+    from repro.data.relation import Relation
+
+    db = Database([Relation("R", 2, [(1, 2)]), Relation("S", 2)])
+    assert agm_bound(q, db) == 0.0

@@ -1,0 +1,155 @@
+"""Tests for the bounded-degree local-pattern engine (Theorems 3.1-3.2,
+Example 3.3 / Algorithm 1's exception-skipping)."""
+
+import pytest
+
+from repro.data import generators
+from repro.data.database import Database
+from repro.enumeration.bounded_degree import (
+    BoolCombo,
+    BoundedDegreeEnumerator,
+    Pattern,
+    ThresholdSentence,
+    count_pattern,
+    match_component,
+    model_check_pattern,
+    model_check_sentence,
+)
+from repro.errors import MalformedQueryError, UnsupportedQueryError
+from repro.eval.naive import evaluate_cq_naive
+from repro.logic.atoms import Atom, Comparison
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.terms import Variable
+
+x, y, z, u, w = (Variable(c) for c in "xyzuw")
+
+
+def as_cq(pattern: Pattern) -> ConjunctiveQuery:
+    """The positive+diseq part of a pattern as a plain CQ over all vars
+    (ground truth ignores negated atoms; tests add them separately)."""
+    head = list(pattern.variables())
+    return ConjunctiveQuery(head, pattern.atoms, pattern.disequalities)
+
+
+def test_pattern_validation():
+    with pytest.raises(MalformedQueryError):
+        Pattern(head=(x,), atoms=(Atom("E", [y, z]),))
+    with pytest.raises(MalformedQueryError):
+        Pattern(head=(), atoms=(Atom("E", [x, y]),),
+                negated=(Atom("E", [x, w]),))
+    with pytest.raises(MalformedQueryError):
+        Pattern(head=(), atoms=(Atom("E", [x, y]),),
+                disequalities=(Comparison(x, "<", y),))
+
+
+def test_components_split_correctly():
+    pat = Pattern(head=(x, u), atoms=(Atom("E", [x, y]), Atom("E", [u, w])))
+    comps = pat.components()
+    assert len(comps) == 2
+    assert {frozenset(v.name for v in c.variables) for c in comps} == {
+        frozenset({"x", "y"}), frozenset({"u", "w"})
+    }
+
+
+def test_cross_disequalities_detected():
+    pat = Pattern(head=(x, u), atoms=(Atom("E", [x, y]), Atom("E", [u, w])),
+                  disequalities=(Comparison(x, "!=", u), Comparison(x, "!=", y)))
+    cross = pat.cross_disequalities()
+    assert len(cross) == 1
+    assert cross[0].variable_set() == {x, u}
+
+
+def test_match_component_equals_naive():
+    pat = Pattern(head=(x, z), atoms=(Atom("E", [x, y]), Atom("E", [y, z])))
+    for seed in range(4):
+        db = generators.random_bounded_degree_graph(15, 3, seed=seed)
+        (comp,) = pat.components()
+        got = set(match_component(comp, db))
+        cq = ConjunctiveQuery([x, y, z], pat.atoms)
+        assert got == evaluate_cq_naive(cq, db)
+
+
+def test_counting_matches_naive_with_cross_disequalities():
+    pat = Pattern(head=(x, z, u),
+                  atoms=(Atom("E", [x, y]), Atom("E", [y, z]), Atom("E", [u, w])),
+                  disequalities=(Comparison(x, "!=", z), Comparison(x, "!=", u)))
+    for seed in range(4):
+        db = generators.random_bounded_degree_graph(12, 3, seed=seed)
+        assert count_pattern(pat, db) == len(evaluate_cq_naive(as_cq(pat), db))
+
+
+def test_enumeration_matches_naive():
+    pat = Pattern(head=(x, z, u),
+                  atoms=(Atom("E", [x, y]), Atom("E", [y, z]), Atom("E", [u, w])),
+                  disequalities=(Comparison(x, "!=", u),))
+    for seed in range(4):
+        db = generators.random_bounded_degree_graph(12, 3, seed=seed)
+        got = list(BoundedDegreeEnumerator(pat, db))
+        full = evaluate_cq_naive(as_cq(pat), db)
+        order = list(pat.variables())
+        pos = [order.index(v) for v in pat.head]
+        expected = {tuple(t[p] for p in pos) for t in full}
+        assert len(got) == len(set(got)), seed
+        assert set(got) == expected, seed
+
+
+def test_negated_atoms_enforced():
+    pat = Pattern(head=(x, z), atoms=(Atom("E", [x, y]), Atom("E", [y, z])),
+                  negated=(Atom("E", [x, z]),))
+    db = generators.random_bounded_degree_graph(12, 3, seed=5)
+    rel = db.relation("E")
+    for a, c in BoundedDegreeEnumerator(pat, db):
+        assert (a, c) not in rel
+
+
+def test_cross_disequality_on_quantified_rejected():
+    pat = Pattern(head=(x,), atoms=(Atom("E", [x, y]), Atom("E", [u, w])),
+                  disequalities=(Comparison(y, "!=", u),))
+    db = generators.random_bounded_degree_graph(8, 2, seed=0)
+    enum = BoundedDegreeEnumerator(pat, db)
+    with pytest.raises(UnsupportedQueryError):
+        enum.preprocess()
+
+
+def test_distinct_head_counting():
+    from repro.counting.fo_count import count_answers, count_assignments
+
+    pat = Pattern(head=(x,), atoms=(Atom("E", [x, y]),))
+    db = Database.from_relations({"E": [(1, 2), (1, 3), (2, 3)]})
+    assert count_assignments(pat, db) == 3
+    assert count_answers(pat, db) == 2
+
+
+def test_model_check(small_db=None):
+    pat = Pattern(head=(), atoms=(Atom("E", [x, y]), Atom("E", [y, z])),
+                  disequalities=(Comparison(x, "!=", z),))
+    db = Database.from_relations({"E": [(1, 2), (2, 3)]})
+    assert model_check_pattern(pat, db)
+    db2 = Database.from_relations({"E": [(1, 2)]})
+    assert not model_check_pattern(pat, db2)
+
+
+def test_threshold_sentences_and_combos():
+    pat = Pattern(head=(x, y), atoms=(Atom("E", [x, y]),))
+    db = Database.from_relations({"E": [(1, 2), (2, 3), (3, 4)]})
+    at_least_3 = ThresholdSentence(pat, 3)
+    at_least_4 = ThresholdSentence(pat, 4)
+    assert model_check_sentence(at_least_3, db)
+    assert not model_check_sentence(at_least_4, db)
+    combo = BoolCombo("and", (at_least_3, BoolCombo("not", (at_least_4,))))
+    assert model_check_sentence(combo, db)
+    assert model_check_sentence(BoolCombo("or", (at_least_4, at_least_3)), db)
+
+
+def test_bucket_skipping_many_exclusions():
+    """Algorithm 1's regime: for each outer value one inner bucket is
+    excluded; results must still be exact."""
+    pat = Pattern(head=(x, u), atoms=(Atom("A", [x, y]), Atom("B", [u, w])),
+                  disequalities=(Comparison(x, "!=", u),))
+    db = Database.from_relations({
+        "A": [(i, 100 + i) for i in range(6)],
+        "B": [(i, 200 + i) for i in range(6)],
+    })
+    got = set(BoundedDegreeEnumerator(pat, db))
+    expected = {(a, b) for a in range(6) for b in range(6) if a != b}
+    assert got == expected

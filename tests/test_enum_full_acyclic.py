@@ -1,0 +1,98 @@
+"""Unit tests for the constant-delay full-join kernel."""
+
+import pytest
+
+from repro.enumeration.full_acyclic import FullJoinEnumerator, reduce_relations
+from repro.errors import NotAcyclicError
+from repro.eval.join import VarRelation
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.jointree import build_join_tree
+from repro.logic.terms import Variable
+
+x, y, z, w = (Variable(c) for c in "xyzw")
+
+
+def test_basic_join_enumeration():
+    r = VarRelation((x, y), [(1, 2), (2, 3)])
+    s = VarRelation((y, z), [(2, 9), (3, 8), (3, 7)])
+    enum = FullJoinEnumerator([r, s], (x, y, z))
+    got = list(enum)
+    assert sorted(got) == [(1, 2, 9), (2, 3, 7), (2, 3, 8)]
+    assert len(got) == len(set(got))
+
+
+def test_head_must_cover_join_variables():
+    r = VarRelation((x, y), [(1, 2)])
+    with pytest.raises(ValueError):
+        FullJoinEnumerator([r], (x,))
+
+
+def test_cyclic_schema_rejected():
+    r = VarRelation((x, y), [(1, 2)])
+    s = VarRelation((y, z), [(2, 3)])
+    t = VarRelation((z, x), [(3, 1)])
+    enum = FullJoinEnumerator([r, s, t], (x, y, z))
+    with pytest.raises(NotAcyclicError):
+        enum.preprocess()
+
+
+def test_empty_relation_yields_nothing():
+    r = VarRelation((x, y), [(1, 2)])
+    s = VarRelation((y, z))
+    assert list(FullJoinEnumerator([r, s], (x, y, z))) == []
+
+
+def test_dangling_tuples_filtered_by_reducer():
+    r = VarRelation((x, y), [(1, 2), (5, 99)])   # (5, 99) dangles
+    s = VarRelation((y, z), [(2, 9)])
+    got = list(FullJoinEnumerator([r, s], (x, y, z)))
+    assert got == [(1, 2, 9)]
+
+
+def test_no_reduce_flag_keeps_consistent_inputs_working():
+    r = VarRelation((x, y), [(1, 2)])
+    s = VarRelation((y, z), [(2, 9)])
+    got = list(FullJoinEnumerator([r, s], (x, y, z), reduce=False))
+    assert got == [(1, 2, 9)]
+
+
+def test_cartesian_components():
+    r = VarRelation((x,), [(1,), (2,)])
+    s = VarRelation((y,), [(5,), (6,)])
+    got = set(FullJoinEnumerator([r, s], (x, y)))
+    assert got == {(1, 5), (1, 6), (2, 5), (2, 6)}
+
+
+def test_head_order_controls_output_order_of_columns():
+    r = VarRelation((x, y), [(1, 2)])
+    got = list(FullJoinEnumerator([r], (y, x)))
+    assert got == [(2, 1)]
+
+
+def test_no_dead_ends_during_enumeration():
+    """After reduction, every probe must be non-empty: instrument by
+    checking the enumerator produces steadily (every consecutive pair of
+    outputs exists without long stalls is covered by perf tests; here we
+    assert exact output count on a bigger random instance)."""
+    import random
+
+    rng = random.Random(0)
+    r = VarRelation((x, y))
+    s = VarRelation((y, z))
+    for _ in range(200):
+        r.add((rng.randrange(20), rng.randrange(20)))
+        s.add((rng.randrange(20), rng.randrange(20)))
+    expected = {(a, b, c) for (a, b) in r for (b2, c) in s if b == b2}
+    got = list(FullJoinEnumerator([r, s], (x, y, z)))
+    assert set(got) == expected
+    assert len(got) == len(expected)
+
+
+def test_reduce_relations_pairwise_consistency():
+    r = VarRelation((x, y), [(1, 2), (5, 99)])
+    s = VarRelation((y, z), [(2, 9), (42, 1)])
+    h = Hypergraph({x, y, z}, [frozenset((x, y)), frozenset((y, z))])
+    tree = build_join_tree(h)
+    red = reduce_relations(tree, [r, s])
+    assert set(red[0]) == {(1, 2)}
+    assert set(red[1]) == {(2, 9)}

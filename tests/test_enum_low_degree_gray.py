@@ -1,0 +1,154 @@
+"""Tests for the low-degree engine (Theorems 3.9-3.10) and the Gray-code
+Sigma_0 enumerator (Theorem 5.5)."""
+
+import pytest
+
+from repro.data import generators
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.enumeration.bounded_degree import Pattern
+from repro.enumeration.gray import Delta, Sigma0SOEnumerator, gray_flip_sequence
+from repro.enumeration.low_degree import (
+    DegreeProfile,
+    LowDegreeEnumerator,
+    count_low_degree,
+    decide_low_degree,
+)
+from repro.errors import UnsupportedQueryError
+from repro.eval.naive import evaluate_cq_naive
+from repro.logic.atoms import Atom
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.fo import And, Exists, Not, RelAtom, SOAtom, SecondOrderVariable
+from repro.logic.terms import Constant, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def test_low_degree_engine_on_clique_plus_independent():
+    db = generators.clique_plus_independent(4)
+    pat = Pattern(head=(x, z), atoms=(Atom("E", [x, y]), Atom("E", [y, z])))
+    got = set(LowDegreeEnumerator(pat, db))
+    cq = ConjunctiveQuery([x, y, z], pat.atoms)
+    expected = {(a, c) for a, b, c in evaluate_cq_naive(cq, db)}
+    assert got == expected
+    assert decide_low_degree(pat, db) == bool(expected)
+    assert count_low_degree(pat, db) == len(evaluate_cq_naive(cq, db))
+
+
+def test_degree_profile():
+    db = generators.clique_plus_independent(4)
+    profile = DegreeProfile.of(db)
+    assert profile.size == 4 + 16
+    assert profile.is_low_degree_like(epsilon=0.8)
+    dense = generators.graph_database(
+        [(i, j) for i in range(8) for j in range(i + 1, 8)])
+    assert not DegreeProfile.of(dense).is_low_degree_like(epsilon=0.5)
+
+
+# ----------------------------------------------------------------- Gray code
+
+
+def test_gray_flip_sequence_visits_all_subsets():
+    n = 4
+    current = set()
+    seen = {frozenset()}
+    for flip in gray_flip_sequence(n):
+        current ^= {flip}
+        seen.add(frozenset(current))
+    assert len(seen) == 2 ** n
+
+
+def test_gray_single_flip_per_step():
+    for flip in gray_flip_sequence(5):
+        assert 0 <= flip < 5
+
+
+def test_sigma0_solutions_match_bruteforce():
+    from repro.counting.spectrum import count_so_bruteforce
+
+    rel = Relation("P", 1, [(0,), (1,)])
+    db = Database([rel], domain=[0, 1, 2])
+    X = SecondOrderVariable("X", 1)
+    phi = And(SOAtom(X, [x]), RelAtom("P", [x]), Not(SOAtom(X, [Constant(2)])))
+    enum = Sigma0SOEnumerator(phi, db)
+    sols = list(enum.solutions())
+    assert len(sols) == len(set(sols))
+    assert enum.count() == len(sols) == count_so_bruteforce(phi, db)
+
+
+def test_sigma0_deltas_are_single_edits():
+    rel = Relation("P", 1, [(0,)])
+    db = Database([rel], domain=[0, 1, 2])
+    X = SecondOrderVariable("X", 1)
+    phi = SOAtom(X, [Constant(0)])
+    enum = Sigma0SOEnumerator(phi, db)
+    edits_between_emits = 0
+    max_edits = 0
+    for delta in enum.deltas():
+        if delta.op == "emit":
+            max_edits = max(max_edits, edits_between_emits)
+            edits_between_emits = 0
+        elif delta.op in ("add", "remove"):
+            edits_between_emits += 1
+    assert max_edits <= 1  # delta-constant delay within cubes
+
+
+def test_sigma0_current_tracks_solution():
+    rel = Relation("P", 1, [(0,)])
+    db = Database([rel], domain=[0, 1])
+    X = SecondOrderVariable("X", 1)
+    phi = SOAtom(X, [Constant(0)])
+    enum = Sigma0SOEnumerator(phi, db)
+    from repro.eval.naive import evaluate_fo
+
+    for delta in enum.deltas():
+        if delta.op == "emit":
+            assert evaluate_fo(phi, db, {}, {X: set(enum.current())})
+
+
+def test_sigma0_with_free_fo_variable():
+    rel = Relation("P", 1, [(0,), (1,)])
+    db = Database([rel], domain=[0, 1])
+    X = SecondOrderVariable("X", 1)
+    phi = And(RelAtom("P", [x]), SOAtom(X, [x]))
+    enum = Sigma0SOEnumerator(phi, db)
+    sols = list(enum.solutions())
+    # for each of the 2 values of x: X must contain (x,); the other tuple
+    # is free -> 2 sets each
+    assert len(sols) == 4
+    for fo, s in sols:
+        assert (fo[0],) in s
+
+
+def test_sigma0_rejects_quantified_formula():
+    db = Database.from_relations({"P": [(0,)]})
+    X = SecondOrderVariable("X", 1)
+    with pytest.raises(UnsupportedQueryError):
+        Sigma0SOEnumerator(Exists([x], SOAtom(X, [x])), db)
+
+
+def test_sigma0_rejects_multiple_so_vars():
+    db = Database.from_relations({"P": [(0,)]})
+    X = SecondOrderVariable("X", 1)
+    Y = SecondOrderVariable("Y", 1)
+    with pytest.raises(UnsupportedQueryError):
+        Sigma0SOEnumerator(And(SOAtom(X, [Constant(0)]), SOAtom(Y, [Constant(0)])), db)
+
+
+def test_sigma0_custom_universe():
+    db = Database.from_relations({"P": [(0,)]})
+    X = SecondOrderVariable("X", 1)
+    phi = SOAtom(X, [Constant(0)])
+    enum = Sigma0SOEnumerator(phi, db, universe=[(0,), (1,)])
+    # X must contain (0,); (1,) free -> 2 solutions
+    assert enum.count() == 2
+    assert len(list(enum.solutions())) == 2
+
+
+def test_sigma0_unsatisfiable_pattern():
+    db = Database.from_relations({"P": [(0,)]})
+    X = SecondOrderVariable("X", 1)
+    phi = And(SOAtom(X, [Constant(0)]), Not(SOAtom(X, [Constant(0)])))
+    enum = Sigma0SOEnumerator(phi, db, universe=[(0,), (1,)])
+    assert enum.count() == 0
+    assert list(enum.solutions()) == []

@@ -1,0 +1,99 @@
+"""Tests for UCQ enumeration via union extensions (Theorem 4.13)."""
+
+import pytest
+
+from repro.data import generators
+from repro.enumeration.ucq_union import (
+    MaterialisedUnionEnumerator,
+    UCQEnumerator,
+    enumerate_ucq,
+)
+from repro.errors import NotFreeConnexError
+from repro.eval.naive import evaluate_cq_naive
+from repro.logic.parser import parse_cq, parse_query
+from repro.logic.ucq import UnionOfConjunctiveQueries
+
+
+def equation1_ucq():
+    return UnionOfConjunctiveQueries([
+        parse_cq("Q(x, y, w) :- R1(x, z), R2(z, y), R3(x, w)"),
+        parse_cq("Q(x, z, y) :- R1(x, z), R2(z, y)"),
+    ])
+
+
+def truth(ucq, db):
+    out = set()
+    for d in ucq:
+        out |= evaluate_cq_naive(d, db)
+    return out
+
+
+def test_equation1_enumeration_randomized():
+    ucq = equation1_ucq()
+    for seed in range(6):
+        db = generators.random_database({"R1": 2, "R2": 2, "R3": 2}, 6, 15,
+                                        seed=seed)
+        got = list(UCQEnumerator(ucq, db))
+        assert len(got) == len(set(got)), seed
+        assert set(got) == truth(ucq, db), seed
+
+
+def test_all_free_connex_union():
+    ucq = parse_query("Q(x) :- R1(x, y); Q(x) :- R2(x, y)")
+    for seed in range(4):
+        db = generators.random_database({"R1": 2, "R2": 2}, 6, 12, seed=seed)
+        got = list(UCQEnumerator(ucq, db))
+        assert set(got) == truth(ucq, db)
+        assert len(got) == len(set(got))
+
+
+def test_overlapping_disjuncts_deduplicated():
+    ucq = parse_query("Q(x) :- R1(x, y); Q(x) :- R1(x, z)")
+    db = generators.random_database({"R1": 2}, 5, 10, seed=1)
+    got = list(UCQEnumerator(ucq, db))
+    assert len(got) == len(set(got))
+    assert set(got) == truth(ucq, db)
+
+
+def test_intractable_union_raises_then_fallback_works():
+    ucq = UnionOfConjunctiveQueries([
+        parse_cq("Q(x, y) :- A(x, z), B(z, y)"),
+        parse_cq("Q(x, y) :- C(x, z), D(z, y)"),
+    ])
+    db = generators.random_database({"A": 2, "B": 2, "C": 2, "D": 2}, 5, 10,
+                                    seed=2)
+    with pytest.raises(NotFreeConnexError):
+        enum = UCQEnumerator(ucq, db)
+        enum.preprocess()
+    fallback = enumerate_ucq(ucq, db)
+    assert isinstance(fallback, MaterialisedUnionEnumerator)
+    assert set(fallback) == truth(ucq, db)
+
+
+def test_enumerate_ucq_picks_fast_engine():
+    ucq = equation1_ucq()
+    db = generators.random_database({"R1": 2, "R2": 2, "R3": 2}, 5, 10, seed=3)
+    enum = enumerate_ucq(ucq, db)
+    assert isinstance(enum, UCQEnumerator)
+
+
+def test_materialised_union_sorted_and_exact():
+    ucq = equation1_ucq()
+    db = generators.random_database({"R1": 2, "R2": 2, "R3": 2}, 5, 12, seed=4)
+    got = list(MaterialisedUnionEnumerator(ucq, db))
+    assert set(got) == truth(ucq, db)
+    assert got == sorted(got, key=repr)
+
+
+def test_three_disjunct_union():
+    ucq = UnionOfConjunctiveQueries([
+        parse_cq("Q(x, y, w) :- R1(x, z), R2(z, y), R3(x, w)"),
+        parse_cq("Q(x, z, y) :- R1(x, z), R2(z, y)"),
+        parse_cq("Q(a, b, c) :- R3(a, b), R1(b, c)"),
+    ])
+    for seed in range(4):
+        db = generators.random_database({"R1": 2, "R2": 2, "R3": 2}, 5, 12,
+                                        seed=seed)
+        got = list(enumerate_ucq(ucq, db))
+        assert len(got) == len(set(got))
+        assert set(got) == truth(ucq, db)

@@ -1,0 +1,37 @@
+"""Smoke tests: every example script must run to completion.
+
+Each example is executed in a subprocess (its own interpreter, like a
+user would run it); non-zero exit or a traceback fails the test.  These
+are the slowest tests of the suite (~1 min total) — they guarantee the
+examples deliverable never rots.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_example_inventory():
+    assert len(EXAMPLES) >= 8
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (script, result.stderr[-2000:])
+    assert "Traceback" not in result.stderr, script
+    assert result.stdout.strip(), script  # every example narrates

@@ -1,0 +1,65 @@
+"""Tests for repro.figures — the paper's figures as objects."""
+
+from repro.figures import (
+    figure1_added_edge,
+    figure1_query,
+    figure2_query,
+    figure3_expected,
+)
+from repro.hypergraph.components import s_components
+from repro.hypergraph.freeconnex import free_connex_join_tree
+from repro.logic.terms import Variable
+
+
+def test_figure1_query_shape():
+    q = figure1_query()
+    assert q.arity == 3
+    assert [v.name for v in q.head] == ["x1", "x2", "x3"]
+    assert len(q.atoms) == 5
+    assert q.is_acyclic() and q.is_free_connex()
+    assert q.quantified_star_size() == 1
+
+
+def test_figure1_added_edge():
+    edge = figure1_added_edge()
+    assert edge == {Variable("x2"), Variable("x3")}
+    # the added edge is a sub-edge of the S atom, as in the paper
+    q = figure1_query()
+    s_atom = next(a for a in q.atoms if a.relation == "S")
+    assert edge <= s_atom.variable_set()
+
+
+def test_figure1_tree_valid():
+    tree, virtual = free_connex_join_tree(figure1_query())
+    assert tree.is_valid()
+    assert tree.root == virtual
+
+
+def test_figure2_query_shape():
+    q = figure2_query()
+    assert q.arity == 7
+    assert len(q.hypergraph().vertices) == 16
+    assert {v.name for v in q.free_variables()} == {f"y{i}" for i in range(1, 8)}
+    assert {v.name for v in q.existential_variables()} == \
+        {f"x{i}" for i in range(1, 10)}
+    assert q.is_acyclic()
+
+
+def test_figure3_invariants_hold():
+    q = figure2_query()
+    expected = figure3_expected()
+    comps = s_components(q.hypergraph(), q.free_variables())
+    assert len(comps) == expected["n_components"]
+    assert q.quantified_star_size() == expected["star_size"]
+    central = next(c for c in comps if Variable("y3") in c.s_vertices)
+    witness = {Variable(n) for n in expected["witness_independent_set"]}
+    assert witness <= central.s_vertices
+    assert central.subhypergraph(q.hypergraph()).is_independent(witness)
+
+
+def test_y6_shared_between_components():
+    """Figure 3 shows y6 in two components (free vertices may be shared)."""
+    q = figure2_query()
+    comps = s_components(q.hypergraph(), q.free_variables())
+    holding = [c for c in comps if Variable("y6") in c.s_vertices]
+    assert len(holding) == 2

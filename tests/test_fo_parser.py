@@ -1,0 +1,95 @@
+"""Tests for the FO formula parser."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.errors import QuerySyntaxError
+from repro.eval.naive import fo_answers, model_check_fo
+from repro.logic.fo import And, Exists, ForAll, Not, Or
+from repro.logic.fo_parser import parse_fo
+from repro.logic.prefix import classify_prefix
+from repro.logic.terms import Variable
+
+
+def test_quantifier_max_scope():
+    f = parse_fo("exists x y. R(x, y) & ~S(y)")
+    assert isinstance(f, Exists)
+    assert f.free_variables() == frozenset()
+
+
+def test_implication_desugars():
+    f = parse_fo("forall x. R(x) -> S(x)")
+    assert isinstance(f, ForAll)
+    assert isinstance(f.child, Or)
+
+
+def test_precedence_and_binds_tighter_than_or():
+    f = parse_fo("R(x) | S(x) & T(x)")
+    assert isinstance(f, Or)
+    assert isinstance(f.operands[1], And)
+
+
+def test_parentheses_override():
+    f = parse_fo("(R(x) | S(x)) & T(x)")
+    assert isinstance(f, And)
+
+
+def test_word_operators():
+    f = parse_fo("R(x) and not S(x) or T(x)")
+    assert isinstance(f, Or)
+
+
+def test_so_variables():
+    f = parse_fo("forall x. X(x) -> E(x, 3)", so_names=["X"])
+    assert classify_prefix(f).name() == "Pi_1^rel"
+    assert {s.name for s in f.so_variables()} == {"X"}
+
+
+def test_constants_and_strings():
+    f = parse_fo('R(x, 5) & S(x, "home") & x != -2')
+    db = Database.from_relations({"R": [(1, 5)], "S": [(1, "home")]})
+    assert fo_answers(f, db) == {(1,)}
+
+
+def test_comparisons():
+    f = parse_fo("exists y. R(x, y) & y <= 2")
+    db = Database.from_relations({"R": [(1, 2), (2, 9)]})
+    assert fo_answers(f, db) == {(1,)}
+
+
+def test_semantics_match_cq_parser():
+    from repro.eval.naive import evaluate_cq_naive
+    from repro.logic.parser import parse_cq
+
+    db = Database.from_relations({"R": [(1, 2), (2, 3)], "S": [(2, 7)]})
+    fo = parse_fo("exists z. R(x, z) & S(z, y)")
+    cq = parse_cq("Q(x, y) :- R(x, z), S(z, y)")
+    # fo_answers sorts free variables by name: (x, y) order matches
+    assert fo_answers(fo, db) == evaluate_cq_naive(cq, db)
+
+
+def test_nested_quantifiers():
+    f = parse_fo("forall x. exists y. R(x, y)")
+    db_yes = Database.from_relations({"R": [(1, 2), (2, 1)]})
+    assert model_check_fo(f, db_yes)
+    db_no = Database.from_relations({"R": [(1, 2)]})
+    assert not model_check_fo(f, db_no)
+
+
+def test_errors():
+    for bad in [
+        "",
+        "R(x",
+        "exists . R(x)",
+        "R(x) &",
+        "R(x) ? S(x)",
+        "exists x R(x)",   # missing dot
+        "R(x) S(x)",
+    ]:
+        with pytest.raises(QuerySyntaxError):
+            parse_fo(bad)
+
+
+def test_trailing_input_rejected():
+    with pytest.raises(QuerySyntaxError):
+        parse_fo("R(x) )")

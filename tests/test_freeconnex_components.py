@@ -1,0 +1,142 @@
+"""Unit tests for free-connexity (Definition 4.4) and the S-component /
+star-size machinery (Definitions 4.23-4.26, Figures 2-3, Example 4.27)."""
+
+import pytest
+
+from repro.errors import NotFreeConnexError
+from repro.figures import figure2_query, figure3_expected
+from repro.hypergraph.components import (
+    free_cover_atoms,
+    max_independent_subset,
+    quantified_star_size,
+    s_components,
+    s_star_size,
+)
+from repro.hypergraph.freeconnex import (
+    free_connex_join_tree,
+    is_free_connex,
+    is_s_connex,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.logic.parser import parse_cq
+from repro.logic.terms import Variable
+
+
+def test_free_connex_iff_star_size_at_most_one():
+    """The paper: 'being of quantified star size 1 is equivalent to being
+    free-connex' — checked over a batch of hand-written ACQs."""
+    queries = [
+        "Q(x, y) :- R(x, z), S(z, y)",
+        "Q(x) :- R(x, z), S(z, y)",
+        "Q(x, y) :- R(x, w), S(y, u), B(u)",
+        "Q(x, y, z) :- R(x, y), S(y, z)",
+        "Q() :- R(x, y)",
+        "Q(a, b) :- T(a, b, c), R(c, d)",
+        "Q(a, b) :- R(a, c), S(b, d), U(c, d)",
+        "Q(x1, x2, x3) :- R(x1, x2), S(x2, x3, y3), R(x1, y1), T(y3, y4, y5), S2(x2, y2)",
+    ]
+    for text in queries:
+        q = parse_cq(text)
+        if not q.is_acyclic():
+            continue
+        assert q.is_free_connex() == (q.quantified_star_size() <= 1), text
+
+
+def test_cyclic_query_is_not_free_connex():
+    q = parse_cq("Q(x, y) :- R(x, y), S(y, z), T(z, x)")
+    assert not is_free_connex(q)
+
+
+def test_s_connex_with_subset():
+    q = parse_cq("Q(x, z, y) :- R1(x, z), R2(z, y)")
+    # quantifier-free path: S = {x, z} keeps the hypergraph acyclic
+    assert is_s_connex(q, {Variable("x"), Variable("z")})
+    # but S = {x, y} closes a cycle
+    assert not is_s_connex(q, {Variable("x"), Variable("y")})
+
+
+def test_free_connex_join_tree_roots_at_free_edge():
+    q = parse_cq("Q(x) :- R(x, z), S(z, y)")
+    tree, virtual = free_connex_join_tree(q)
+    assert tree.root == virtual
+    assert tree.edge_of(virtual) == q.free_variables()
+    assert tree.is_valid()
+
+
+def test_free_connex_join_tree_raises():
+    pi = parse_cq("Pi(x, y) :- A(x, z), B(z, y)")
+    with pytest.raises(NotFreeConnexError):
+        free_connex_join_tree(pi)
+
+
+def test_star_query_has_star_size_n():
+    """Equation 2 / Example 4.27: psi's quantified star size equals n."""
+    from repro.counting.matchings import star_query
+
+    for n in (2, 3, 5):
+        psi = star_query(list(range(n)))
+        assert psi.quantified_star_size() == n
+
+
+def test_figure3_component_decomposition():
+    q = figure2_query()
+    expected = figure3_expected()
+    h = q.hypergraph()
+    comps = s_components(h, q.free_variables())
+    assert len(comps) == expected["n_components"]
+    assert quantified_star_size(q) == expected["star_size"]
+    central = next(c for c in comps if Variable("y3") in c.s_vertices)
+    witness = {Variable(n) for n in expected["witness_independent_set"]}
+    assert central.subhypergraph(h).is_independent(witness)
+
+
+def test_components_partition_quantified_variables():
+    q = figure2_query()
+    h = q.hypergraph()
+    comps = s_components(h, q.free_variables())
+    quantified = h.vertices - q.free_variables()
+    seen = set()
+    for c in comps:
+        quant_here = c.vertices - q.free_variables()
+        assert not (quant_here & seen)
+        seen |= quant_here
+    assert seen == quantified
+
+
+def test_component_edges_cover_each_edge_once():
+    q = figure2_query()
+    h = q.hypergraph()
+    comps = s_components(h, q.free_variables())
+    covered = [i for c in comps for i in c.edge_indexes]
+    assert len(covered) == len(set(covered))
+    free = q.free_variables()
+    outside = set(range(len(h.edges))) - set(covered)
+    assert all(h.edges[i] <= free for i in outside)
+
+
+def test_star_size_zero_for_quantifier_free():
+    q = parse_cq("Q(x, y) :- R(x, y)")
+    assert quantified_star_size(q) == 0
+
+
+def test_max_independent_subset_exact():
+    h = Hypergraph({"a", "b", "c", "d"},
+                   [frozenset({"a", "b"}), frozenset({"b", "c"}),
+                    frozenset({"c", "d"})])
+    ind = max_independent_subset(h, ["a", "b", "c", "d"])
+    assert len(ind) == 2
+    assert h.is_independent(ind)
+
+
+def test_free_cover_atoms_minimum():
+    q = parse_cq("Q(x, y) :- R(x, z), S(z, y)")
+    h = q.hypergraph()
+    comps = s_components(h, q.free_variables())
+    assert len(comps) == 1
+    cover = free_cover_atoms(h, comps[0])
+    assert len(cover) == 2  # no single atom covers both x and y
+
+
+def test_s_star_size_direct():
+    q = parse_cq("Q(x, y) :- R(x, z), S(z, y)")
+    assert s_star_size(q.hypergraph(), q.free_variables()) == 2

@@ -1,0 +1,93 @@
+"""Unit tests for the Hypergraph class, including Figure 2's hypergraph."""
+
+import pytest
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.logic.parser import parse_cq
+
+
+def figure2_hypergraph():
+    """The Figures 2-3 hypergraph (via repro.figures)."""
+    from repro.figures import figure2_query
+
+    return figure2_query().hypergraph()
+
+
+def test_vertices_validated():
+    with pytest.raises(ValueError):
+        Hypergraph({"a"}, [{"a", "b"}])
+
+
+def test_edges_containing_and_incidence():
+    h = Hypergraph({"a", "b", "c"}, [{"a", "b"}, {"b", "c"}])
+    assert h.edges_containing("b") == [frozenset({"a", "b"}), frozenset({"b", "c"})]
+    inc = h.incidence()
+    assert inc["b"] == [0, 1]
+    assert inc["a"] == [0]
+
+
+def test_distinct_edges_with_duplicates():
+    h = Hypergraph({"a", "b"}, [{"a", "b"}, {"a", "b"}])
+    assert len(h) == 2
+    assert len(h.distinct_edges()) == 1
+
+
+def test_induced_by_edges_vertex_set():
+    h = Hypergraph({"a", "b", "c", "d"}, [{"a", "b"}, {"c", "d"}])
+    sub = h.induced_by_edges([0])
+    assert sub.vertices == {"a", "b"}
+    assert len(sub) == 1
+
+
+def test_induced_by_vertices_drops_empty_edges():
+    h = Hypergraph({"a", "b", "c"}, [{"a", "b"}, {"c"}])
+    sub = h.induced_by_vertices({"a", "b"})
+    assert sub.vertices == {"a", "b"}
+    assert len(sub) == 1
+
+
+def test_with_edge():
+    h = Hypergraph({"a"}, [{"a"}])
+    h2 = h.with_edge({"a", "b"})
+    assert "b" in h2.vertices
+    assert len(h2) == 2
+
+
+def test_primal_graph_and_independence():
+    h = Hypergraph({"a", "b", "c", "d"}, [{"a", "b", "c"}, {"c", "d"}])
+    adj = h.primal_graph()
+    assert adj["a"] == {"b", "c"}
+    assert adj["d"] == {"c"}
+    assert h.is_independent({"a", "d"})
+    assert not h.is_independent({"a", "b"})
+
+
+def test_connected_components_with_isolated_vertex():
+    h = Hypergraph({"a", "b", "z"}, [{"a", "b"}])
+    comps = h.connected_components()
+    assert {frozenset(c) for c in comps} == {frozenset({"a", "b"}), frozenset({"z"})}
+
+
+def test_k_uniform():
+    h = Hypergraph({"a", "b", "c"}, [{"a", "b"}, {"b", "c"}])
+    assert h.is_k_uniform(2)
+    assert not h.is_k_uniform(3)
+
+
+def test_query_hypergraph_ignores_comparisons():
+    q = parse_cq("Q(x) :- R(x, z), x != z, x < z")
+    h = q.hypergraph()
+    assert len(h) == 1  # only the relational atom contributes
+
+
+def test_figure2_hypergraph_shape():
+    h = figure2_hypergraph()
+    assert len(h.vertices) == 16  # x1..x9 and y1..y7
+    assert len(h) == 13
+
+
+def test_equality_and_hash():
+    h1 = Hypergraph({"a", "b"}, [{"a", "b"}])
+    h2 = Hypergraph({"a", "b"}, [{"a", "b"}])
+    assert h1 == h2
+    assert hash(h1) == hash(h2)

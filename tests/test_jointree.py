@@ -1,0 +1,130 @@
+"""Unit tests for GYO reduction and join trees (Section 4.1)."""
+
+import pytest
+
+from repro.errors import NotAcyclicError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.jointree import (
+    build_join_tree,
+    gyo_reduction,
+    is_alpha_acyclic,
+    join_tree_of_query,
+)
+from repro.logic.parser import parse_cq
+
+
+def H(*edges):
+    vertices = {v for e in edges for v in e}
+    return Hypergraph(vertices, [frozenset(e) for e in edges])
+
+
+def test_path_is_acyclic():
+    assert is_alpha_acyclic(H({"x", "y"}, {"y", "z"}))
+
+
+def test_triangle_is_cyclic():
+    assert not is_alpha_acyclic(H({"x", "y"}, {"y", "z"}, {"z", "x"}))
+
+
+def test_covered_triangle_is_acyclic():
+    assert is_alpha_acyclic(H({"x", "y"}, {"y", "z"}, {"z", "x"}, {"x", "y", "z"}))
+
+
+def test_alpha_not_hereditary():
+    """The hallmark of alpha-acyclicity: removing the covering edge
+    reintroduces the cycle (motivates beta-acyclicity, Definition 4.29)."""
+    full = H({"x", "y"}, {"y", "z"}, {"z", "x"}, {"x", "y", "z"})
+    assert is_alpha_acyclic(full)
+    sub = full.induced_by_edges([0, 1, 2])
+    assert not is_alpha_acyclic(sub)
+
+
+def test_empty_hypergraph_is_acyclic():
+    assert is_alpha_acyclic(Hypergraph(set(), []))
+
+
+def test_single_edge():
+    tree = build_join_tree(H({"x", "y", "z"}))
+    assert tree.nodes() == [0]
+    assert tree.is_valid()
+
+
+def test_gyo_residual_on_cycle():
+    residual, _ = gyo_reduction(H({"x", "y"}, {"y", "z"}, {"z", "x"}))
+    assert residual
+
+
+def test_join_tree_valid_on_examples():
+    cases = [
+        H({"x", "y"}, {"y", "z"}),
+        H({"x", "y"}, {"y", "z"}, {"z", "w"}, {"w", "v"}),
+        H({"a", "b", "c"}, {"b", "c", "d"}, {"c", "d", "e"}),
+        H({"a"}, {"b"}, {"c"}),                      # disconnected singletons
+        H({"a", "b"}, {"a", "b"}),                   # duplicate edges
+        H({"x", "y"}, {"y", "z"}, {"x", "y", "z"}),
+    ]
+    for h in cases:
+        tree = build_join_tree(h)
+        assert tree.is_valid(), h
+        assert set(tree.nodes()) == set(range(len(h.edges)))
+
+
+def test_join_tree_raises_on_cyclic():
+    with pytest.raises(NotAcyclicError):
+        build_join_tree(H({"x", "y"}, {"y", "z"}, {"z", "x"}))
+
+
+def test_join_tree_raises_on_edgeless():
+    with pytest.raises(NotAcyclicError):
+        build_join_tree(Hypergraph({"x"}, []))
+
+
+def test_bottom_up_parents_after_children():
+    h = H({"a", "b"}, {"b", "c"}, {"c", "d"})
+    tree = build_join_tree(h)
+    order = tree.bottom_up()
+    position = {n: i for i, n in enumerate(order)}
+    for node, parent in tree.parent.items():
+        if parent is not None:
+            assert position[node] < position[parent]
+
+
+def test_top_down_is_reverse():
+    tree = build_join_tree(H({"a", "b"}, {"b", "c"}))
+    assert tree.top_down() == list(reversed(tree.bottom_up()))
+
+
+def test_leaves():
+    tree = build_join_tree(H({"a", "b"}, {"b", "c"}, {"b", "d"}))
+    assert set(tree.leaves()) <= set(tree.nodes())
+    assert tree.leaves()
+
+
+def test_rerooted_preserves_validity():
+    h = H({"a", "b"}, {"b", "c"}, {"c", "d"})
+    tree = build_join_tree(h)
+    for node in tree.nodes():
+        rerooted = tree.rerooted(node)
+        assert rerooted.root == node
+        assert rerooted.is_valid()
+        assert sorted(rerooted.tree_edges()) != None  # structure intact
+
+
+def test_figure1_join_tree(figure1_query):
+    tree = join_tree_of_query(figure1_query)
+    assert tree.is_valid()
+    assert len(tree.nodes()) == 5
+
+
+def test_join_tree_repr_mentions_edges():
+    tree = build_join_tree(H({"a", "b"}, {"b", "c"}))
+    assert "a" in repr(tree) and "c" in repr(tree)
+
+
+def test_validity_check_rejects_bad_tree():
+    from repro.hypergraph.jointree import JoinTree
+
+    h = H({"x", "y"}, {"y", "z"}, {"z", "w"})
+    # chain 0-2 with 1 hanging off 2 breaks connectivity of y
+    bad = JoinTree(h, 0, {0: None, 2: 0, 1: 2})
+    assert not bad.is_valid()

@@ -1,0 +1,134 @@
+"""Unit tests for ConjunctiveQuery, including the Example 4.1 / 4.5
+acyclicity and free-connexity verdicts."""
+
+import pytest
+
+from repro.errors import MalformedQueryError
+from repro.logic.atoms import Atom, Comparison
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.parser import parse_cq
+from repro.logic.terms import Variable
+
+
+def test_basic_shape():
+    q = parse_cq("Q(x, y) :- R(x, z), S(z, y)")
+    assert q.arity == 2
+    assert not q.is_boolean()
+    assert not q.is_quantifier_free()
+    assert {v.name for v in q.existential_variables()} == {"z"}
+    assert q.relation_names() == ["R", "S"]
+    assert q.is_self_join_free()
+
+
+def test_head_variable_must_occur():
+    with pytest.raises(MalformedQueryError):
+        ConjunctiveQuery(["x"], [Atom("R", ["y"])])
+
+
+def test_duplicate_head_variable_rejected():
+    with pytest.raises(MalformedQueryError):
+        ConjunctiveQuery(["x", "x"], [Atom("R", ["x"])])
+
+
+def test_constant_head_rejected():
+    with pytest.raises(MalformedQueryError):
+        ConjunctiveQuery([3], [Atom("R", ["x"])])
+
+
+def test_empty_body_rejected():
+    with pytest.raises(MalformedQueryError):
+        ConjunctiveQuery(["x"], [])
+
+
+def test_inconsistent_arity_rejected():
+    with pytest.raises(MalformedQueryError):
+        ConjunctiveQuery([], [Atom("R", ["x"]), Atom("R", ["x", "y"])])
+
+
+def test_unsafe_comparison_rejected():
+    with pytest.raises(MalformedQueryError):
+        ConjunctiveQuery(["x"], [Atom("R", ["x"])],
+                         [Comparison("x", "!=", "w")])
+
+
+def test_example_41_path_is_acyclic():
+    phi1 = parse_cq("Q(x, y, z) :- E(x, y), F(y, z)")
+    assert phi1.is_acyclic()
+
+
+def test_example_41_triangle_is_cyclic():
+    phi2 = parse_cq("Q(x, y, z) :- E1(x, y), E2(y, z), E3(z, x)")
+    assert not phi2.is_acyclic()
+
+
+def test_example_41_covered_triangle_is_acyclic():
+    phi3 = parse_cq("Q(x, y, z) :- E1(x, y), E2(y, z), E3(z, x), T(x, y, z)")
+    assert phi3.is_acyclic()
+
+
+def test_example_45_free_connex():
+    q = parse_cq("Q(x, y) :- E(x, w), F(y, z), B(z)")
+    assert q.is_acyclic() and q.is_free_connex()
+
+
+def test_example_45_matrix_multiplication_not_free_connex():
+    pi = parse_cq("Pi(x, y) :- A(x, z), B(z, y)")
+    assert pi.is_acyclic()
+    assert not pi.is_free_connex()
+    assert pi.quantified_star_size() == 2
+
+
+def test_boolean_and_unary_queries_are_free_connex():
+    assert parse_cq("Q() :- R(x, y)").is_free_connex()
+    assert parse_cq("Q(x) :- R(x, y)").is_free_connex()
+
+
+def test_substitute_removes_head_variable():
+    q = parse_cq("Q(x, y) :- R(x, z), S(z, y)")
+    sub = q.substitute({Variable("x"): 7})
+    assert sub.arity == 1
+    assert sub.head == (Variable("y"),)
+    assert any(a.constants() for a in sub.atoms)
+
+
+def test_with_head_and_extra_atom():
+    q = parse_cq("Q(x, y) :- R(x, z), S(z, y)")
+    q2 = q.with_head(["z"])
+    assert q2.head == (Variable("z"),)
+    q3 = q.with_extra_atom(Atom("P", ["x", "y"]))
+    assert len(q3.atoms) == 3
+    # adding P(x, y) to the path closes a cycle (Definition 4.4's test!)
+    assert not q3.is_acyclic()
+    prod = parse_cq("Q(x, y) :- R(x, z), S(y, w)")
+    covered = prod.with_extra_atom(Atom("P", ["x", "y"]))
+    assert covered.is_acyclic() and covered.is_free_connex()
+
+
+def test_rename_apart():
+    q = parse_cq("Q(x, y) :- R(x, z), S(z, y)")
+    r = q.rename_apart("_1")
+    assert {v.name for v in r.variables()} == {"x_1", "y_1", "z_1"}
+    assert r.relation_names() == q.relation_names()
+
+
+def test_size_measure_positive():
+    q = parse_cq("Q(x) :- R(x, z), x != z")
+    assert q.size() > 0
+    assert q.has_comparisons()
+    assert q.without_comparisons().comparisons == ()
+
+
+def test_self_join_detection():
+    assert not parse_cq("Q(x) :- R(x, z), R(z, x)").is_self_join_free()
+
+
+def test_equality_and_hash():
+    q1 = parse_cq("Q(x) :- R(x, y)")
+    q2 = parse_cq("Q(x) :- R(x, y)")
+    assert q1 == q2
+    assert hash(q1) == hash(q2)
+
+
+def test_variables_order_of_first_occurrence():
+    q = parse_cq("Q(y) :- R(z, y), S(y, x)")
+    assert [v.name for v in q.variables()] == ["z", "y", "x"]

@@ -1,0 +1,147 @@
+"""Unit tests for the FO AST, prenex transformation and the Sigma_k/Pi_k
+prefix classification (Section 5, Examples 5.1/5.2)."""
+
+import pytest
+
+from repro.errors import MalformedQueryError
+from repro.logic.fo import (
+    And,
+    CompareAtom,
+    Exists,
+    ForAll,
+    Not,
+    Or,
+    RelAtom,
+    SOAtom,
+    SecondOrderVariable,
+    atoms_of,
+    cq_to_fo,
+    is_quantifier_free,
+    quantifier_prefix,
+    to_prenex,
+)
+from repro.logic.parser import parse_cq
+from repro.logic.prefix import PrefixClass, classify_prefix
+from repro.logic.terms import Variable
+
+
+def test_free_variables():
+    x, y = Variable("x"), Variable("y")
+    f = Exists([x], And(RelAtom("R", [x, y]), CompareAtom(x, "!=", y)))
+    assert f.free_variables() == {y}
+
+
+def test_so_atom_arity_checked():
+    X = SecondOrderVariable("X", 2)
+    with pytest.raises(MalformedQueryError):
+        SOAtom(X, ["x"])
+
+
+def test_so_variables_collected():
+    X = SecondOrderVariable("X", 1)
+    f = ForAll(["x"], SOAtom(X, ["x"]))
+    assert f.so_variables() == {X}
+    assert f.free_variables() == frozenset()
+
+
+def test_connective_sugar():
+    a = RelAtom("R", ["x"])
+    b = RelAtom("S", ["x"])
+    assert isinstance(a & b, And)
+    assert isinstance(a | b, Or)
+    assert isinstance(~a, Not)
+
+
+def test_nary_flattening():
+    a, b, c = (RelAtom(n, ["x"]) for n in "RST")
+    f = And(And(a, b), c)
+    assert len(f.operands) == 3
+
+
+def test_atoms_of():
+    f = And(RelAtom("R", ["x"]), Not(RelAtom("S", ["x"])))
+    assert [a.relation for a in atoms_of(f)] == ["R", "S"]
+
+
+def test_quantifier_prefix_blocks_merge():
+    f = Exists(["x"], Exists(["y"], ForAll(["z"], RelAtom("R", ["x", "y", "z"]))))
+    blocks, matrix = quantifier_prefix(f)
+    assert [(k, len(vs)) for k, vs in blocks] == [("E", 2), ("A", 1)]
+    assert is_quantifier_free(matrix)
+
+
+def test_prenex_pushes_negation():
+    f = Not(Exists(["x"], RelAtom("R", ["x"])))
+    p = to_prenex(f)
+    assert isinstance(p, ForAll)
+    assert isinstance(p.child, Not)
+
+
+def test_prenex_pulls_from_conjunction():
+    f = And(Exists(["x"], RelAtom("R", ["x"])), ForAll(["y"], RelAtom("S", ["y"])))
+    blocks, matrix = quantifier_prefix(to_prenex(f))
+    assert len(blocks) == 2
+    assert is_quantifier_free(matrix)
+
+
+def test_prenex_capture_avoidance():
+    # exists x R(x)  AND  S(x): the free x of S must not be captured
+    f = And(Exists(["x"], RelAtom("R", ["x"])), RelAtom("S", ["x"]))
+    p = to_prenex(f)
+    assert Variable("x") in p.free_variables()
+
+
+def test_classify_sigma0():
+    f = RelAtom("R", ["x"])
+    assert classify_prefix(f).name() == "Sigma_0"
+
+
+def test_classify_example_52_sigma0():
+    # Psi_0: ordered triangle, quantifier-free
+    x1, x2, x3 = Variable("v1"), Variable("v2"), Variable("v3")
+    f = And(CompareAtom(x1, "<", x2), CompareAtom(x2, "<", x3),
+            RelAtom("E", [x1, x2]), RelAtom("E", [x2, x3]), RelAtom("E", [x3, x1]))
+    cls = classify_prefix(f)
+    assert cls.k == 0 and not cls.relational
+
+
+def test_classify_example_52_pi1_rel():
+    # Psi_1(T) = forall v1 v2 (T(v1) and T(v2) -> E(v1, v2))
+    T = SecondOrderVariable("T", 1)
+    v1, v2 = Variable("v1"), Variable("v2")
+    body = Or(Not(And(SOAtom(T, [v1]), SOAtom(T, [v2]))), RelAtom("E", [v1, v2]))
+    f = ForAll([v1, v2], body)
+    cls = classify_prefix(f)
+    assert cls.name() == "Pi_1^rel"
+
+
+def test_classify_sigma1_rel():
+    T = SecondOrderVariable("T", 1)
+    f = Exists(["x"], SOAtom(T, ["x"]))
+    assert classify_prefix(f).name() == "Sigma_1^rel"
+
+
+def test_classify_sigma2():
+    f = Exists(["x"], ForAll(["y"], RelAtom("R", ["x", "y"])))
+    cls = classify_prefix(f)
+    assert cls.k == 2 and cls.leading == "E"
+
+
+def test_containment_order():
+    s0 = PrefixClass(0, "")
+    s1 = PrefixClass(1, "E")
+    p1 = PrefixClass(1, "A")
+    s2 = PrefixClass(2, "E")
+    assert s1.contains(s0) and p1.contains(s0)
+    assert s2.contains(s1) and s2.contains(p1)
+    assert not s1.contains(p1) and not p1.contains(s1)
+
+
+def test_cq_to_fo_roundtrip_semantics():
+    from repro.data.database import Database
+    from repro.eval.naive import evaluate_cq_naive, fo_answers
+
+    q = parse_cq("Q(x) :- R(x, z), S(z)")
+    db = Database.from_relations({"R": [(1, 2), (2, 3)], "S": [(2,)]})
+    f = cq_to_fo(q)
+    assert fo_answers(f, db) == evaluate_cq_naive(q, db)

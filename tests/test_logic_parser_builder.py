@@ -1,0 +1,126 @@
+"""Unit tests for the query parser and the fluent builder."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.logic.builder import Q, union
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.ncq import NegativeConjunctiveQuery
+from repro.logic.parser import parse_cq, parse_query
+from repro.logic.terms import Constant, Variable
+from repro.logic.ucq import UnionOfConjunctiveQueries
+
+
+def test_parse_simple_cq():
+    q = parse_query("Q(x, y) :- R(x, z), S(z, y)")
+    assert isinstance(q, ConjunctiveQuery)
+    assert q.arity == 2
+    assert q.name == "Q"
+
+
+def test_parse_boolean_query():
+    q = parse_cq("Q() :- R(x, y)")
+    assert q.is_boolean()
+
+
+def test_parse_constants():
+    q = parse_cq('Q(x) :- R(x, 3), S(x, "paris")')
+    consts = [c.value for a in q.atoms for c in a.constants()]
+    assert consts == [3, "paris"]
+
+
+def test_parse_negative_constant():
+    q = parse_cq("Q(x) :- R(x, -5)")
+    assert q.atoms[0].constants() == (Constant(-5),)
+
+
+def test_parse_comparisons():
+    q = parse_cq("Q(x, y) :- R(x, y), x != y, x < 10")
+    assert len(q.comparisons) == 2
+    assert q.disequalities()[0].op == "!="
+    assert q.order_comparisons()[0].op == "<"
+
+
+def test_parse_all_comparison_ops():
+    q = parse_cq("Q(x, y) :- R(x, y), x <= y, x >= 0, x = x, x > 0")
+    assert len(q.comparisons) == 4
+
+
+def test_parse_ncq():
+    q = parse_query("Q(x) :- not R(x, y), !S(y)")
+    assert isinstance(q, NegativeConjunctiveQuery)
+    assert len(q.atoms) == 2
+
+
+def test_parse_signed_query_rejected():
+    with pytest.raises(QuerySyntaxError):
+        parse_query("Q(x) :- R(x, y), not S(y)")
+
+
+def test_parse_ucq_multiline():
+    q = parse_query("""
+        Q(x, y) :- R(x, y)
+        Q(x, y) :- S(x, y)
+    """)
+    assert isinstance(q, UnionOfConjunctiveQueries)
+    assert len(q) == 2
+
+
+def test_parse_ucq_semicolons():
+    q = parse_query("Q(x) :- R(x, y); Q(x) :- S(x)")
+    assert isinstance(q, UnionOfConjunctiveQueries)
+
+
+def test_parse_comments_and_blank_lines():
+    q = parse_query("""
+        # the lineage query
+        Q(x) :- R(x, y)
+    """)
+    assert isinstance(q, ConjunctiveQuery)
+
+
+def test_parse_errors():
+    for bad in [
+        "",
+        "Q(x)",
+        "Q(x) :-",
+        "Q(x) :- R(x",
+        "Q(x) :- R(x,)",
+        "Q(3) :- R(x)",
+        "Q(x) :- x",
+        "Q(x) :- R(x) extra",
+        "Q(x) :- R(x) ??",
+    ]:
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
+
+
+def test_parse_cq_rejects_union():
+    with pytest.raises(QuerySyntaxError):
+        parse_cq("Q(x) :- R(x); Q(x) :- S(x)")
+
+
+def test_parser_repr_roundtrip():
+    q = parse_cq("Q(x, y) :- R(x, z), S(z, y), x != y")
+    assert parse_cq(repr(q)) == q
+
+
+def test_builder_cq():
+    q = Q("x", "y").where("R", "x", "z").where("S", "z", "y").build()
+    assert q == parse_cq("Q(x, y) :- R(x, z), S(z, y)")
+
+
+def test_builder_with_comparison():
+    q = Q("x").where("R", "x", "z").compare("x", "!=", "z").build()
+    assert len(q.disequalities()) == 1
+
+
+def test_builder_ncq():
+    q = Q("x").where_not("R", "x", "y").build_negative()
+    assert isinstance(q, NegativeConjunctiveQuery)
+
+
+def test_builder_union():
+    u = union(parse_cq("Q(x) :- R(x)"), parse_cq("Q(x) :- S(x)"))
+    assert isinstance(u, UnionOfConjunctiveQueries)
+    assert len(u) == 2

@@ -1,0 +1,96 @@
+"""Unit tests for terms and atomic formulas."""
+
+import pytest
+
+from repro.logic.atoms import Atom, Comparison, evaluate_comparisons
+from repro.logic.terms import Constant, Variable, as_term
+
+
+def test_variable_interning():
+    assert Variable("x") is Variable("x")
+    assert Variable("x") is not Variable("y")
+
+
+def test_variable_immutable():
+    with pytest.raises(AttributeError):
+        Variable("x").name = "y"
+
+
+def test_constant_equality():
+    assert Constant(1) == Constant(1)
+    assert Constant(1) != Constant(2)
+    assert hash(Constant("a")) == hash(Constant("a"))
+
+
+def test_as_term_coercion():
+    assert isinstance(as_term("x"), Variable)
+    assert isinstance(as_term(3), Constant)
+    v = Variable("v")
+    assert as_term(v) is v
+
+
+def test_atom_variables_in_order():
+    a = Atom("R", ["y", "x", "y", 3])
+    assert [v.name for v in a.variables()] == ["y", "x"]
+    assert a.variable_set() == {Variable("x"), Variable("y")}
+    assert a.constants() == (Constant(3),)
+    assert a.arity == 4
+
+
+def test_atom_matches_constants():
+    a = Atom("R", ["x", 3])
+    assert a.matches((7, 3))
+    assert not a.matches((7, 4))
+    assert not a.matches((7,))
+
+
+def test_atom_matches_repeated_variables():
+    a = Atom("R", ["x", "x", "y"])
+    assert a.matches((1, 1, 2))
+    assert not a.matches((1, 2, 2))
+
+
+def test_atom_bind():
+    a = Atom("R", ["x", 3, "y"])
+    assert a.bind((1, 3, 5)) == {Variable("x"): 1, Variable("y"): 5}
+
+
+def test_atom_substitute():
+    a = Atom("R", ["x", "y"]).substitute({Variable("x"): 9})
+    assert a.terms == (Constant(9), Variable("y"))
+
+
+def test_atom_equality_and_hash():
+    assert Atom("R", ["x", 1]) == Atom("R", ["x", 1])
+    assert Atom("R", ["x"]) != Atom("S", ["x"])
+    assert len({Atom("R", ["x"]), Atom("R", ["x"])}) == 1
+
+
+def test_comparison_evaluate():
+    c = Comparison("x", "<", "y")
+    assert c.evaluate({Variable("x"): 1, Variable("y"): 2})
+    assert not c.evaluate({Variable("x"): 2, Variable("y"): 2})
+    le = Comparison("x", "<=", 5)
+    assert le.evaluate({Variable("x"): 5})
+
+
+def test_comparison_kinds():
+    assert Comparison("x", "!=", "y").is_disequality()
+    assert not Comparison("x", "!=", "y").is_order_comparison()
+    assert Comparison("x", "<", "y").is_order_comparison()
+    with pytest.raises(ValueError):
+        Comparison("x", "~", "y")
+
+
+def test_comparison_substitute():
+    c = Comparison("x", "!=", "y").substitute({Variable("x"): 1})
+    assert c.left == Constant(1)
+    assert c.evaluate({Variable("y"): 2})
+
+
+def test_evaluate_comparisons_conjunction():
+    cs = [Comparison("x", "<", "y"), Comparison("y", "!=", 3)]
+    env = {Variable("x"): 1, Variable("y"): 2}
+    assert evaluate_comparisons(cs, env)
+    env[Variable("y")] = 3
+    assert not evaluate_comparisons(cs, env)

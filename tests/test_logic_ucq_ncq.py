@@ -1,0 +1,76 @@
+"""Unit tests for UCQ and NCQ query classes."""
+
+import pytest
+
+from repro.errors import MalformedQueryError
+from repro.logic.atoms import Atom
+from repro.logic.ncq import NegativeConjunctiveQuery
+from repro.logic.parser import parse_cq, parse_query
+from repro.logic.ucq import UnionOfConjunctiveQueries
+
+
+def test_ucq_arity_agreement():
+    with pytest.raises(MalformedQueryError):
+        UnionOfConjunctiveQueries([
+            parse_cq("Q(x) :- R(x)"),
+            parse_cq("Q(x, y) :- S(x, y)"),
+        ])
+
+
+def test_ucq_needs_disjuncts():
+    with pytest.raises(MalformedQueryError):
+        UnionOfConjunctiveQueries([])
+
+
+def test_ucq_accessors():
+    u = parse_query("Q(x) :- R(x, y); Q(x) :- S(x, y)")
+    assert u.arity == 1
+    assert not u.is_boolean()
+    assert len(u) == 2
+    assert u[0].relation_names() == ["R"]
+    assert set(u.relation_names()) == {"R", "S"}
+    assert u.size() > 0
+    assert list(iter(u)) == list(u.disjuncts)
+
+
+def test_ucq_all_disjuncts_free_connex():
+    u = parse_query("Q(x) :- R(x, y); Q(x) :- S(x, y)")
+    assert u.all_disjuncts_free_connex()
+    u2 = parse_query("Q(x, y) :- A(x, z), B(z, y); Q(x, y) :- C(x, y)")
+    assert not u2.all_disjuncts_free_connex()
+
+
+def test_ucq_equality():
+    u1 = parse_query("Q(x) :- R(x); Q(x) :- S(x)")
+    u2 = parse_query("Q(x) :- R(x); Q(x) :- S(x)")
+    assert u1 == u2
+    assert hash(u1) == hash(u2)
+
+
+def test_ncq_shape():
+    q = parse_query("Q(x) :- not R(x, y)")
+    assert isinstance(q, NegativeConjunctiveQuery)
+    assert q.arity == 1
+    assert {v.name for v in q.variable_set()} == {"x", "y"}
+    assert q.relation_names() == ["R"]
+
+
+def test_ncq_validation():
+    with pytest.raises(MalformedQueryError):
+        NegativeConjunctiveQuery(["x"], [Atom("R", ["y"])])
+    with pytest.raises(MalformedQueryError):
+        NegativeConjunctiveQuery([], [])
+    with pytest.raises(MalformedQueryError):
+        NegativeConjunctiveQuery(["x", "x"], [Atom("R", ["x"])])
+
+
+def test_ncq_beta_acyclicity():
+    chain = parse_query("Q() :- not R(x, y), not S(y, z)")
+    assert chain.is_beta_acyclic()
+    triangle = parse_query("Q() :- not R(x, y), not S(y, z), not T(z, x)")
+    assert not triangle.is_beta_acyclic()
+
+
+def test_ncq_boolean():
+    q = parse_query("Q() :- not R(x)")
+    assert q.is_boolean()

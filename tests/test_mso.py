@@ -1,0 +1,224 @@
+"""Tests for tree decompositions and the Courcelle-style DP (Theorems
+3.11-3.12), cross-validated against brute force."""
+
+import random
+from itertools import combinations, product
+
+import pytest
+
+from repro.data import generators
+from repro.mso.courcelle import count_solutions, decide, optimise, run_dp
+from repro.mso.enumeration import (
+    enumerate_labelings,
+    enumerate_solutions,
+    two_cluster_example,
+)
+from repro.mso.properties import (
+    ColoringProperty,
+    DominatingSetProperty,
+    IndependentSetProperty,
+    VertexCoverProperty,
+)
+from repro.mso.treedecomp import (
+    TreeDecomposition,
+    adjacency_from_database,
+    make_nice,
+    tree_decomposition,
+)
+
+
+def random_graph(n, p, seed):
+    rng = random.Random(seed)
+    graph = {i: set() for i in range(n)}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                graph[i].add(j)
+                graph[j].add(i)
+    return graph
+
+
+def brute_independent_sets(graph):
+    vs = list(graph)
+    out = []
+    for r in range(len(vs) + 1):
+        for c in combinations(vs, r):
+            s = set(c)
+            if all(w not in s for u in s for w in graph[u]):
+                out.append(frozenset(s))
+    return out
+
+
+def brute_vertex_covers(graph):
+    vs = list(graph)
+    out = []
+    for r in range(len(vs) + 1):
+        for c in combinations(vs, r):
+            s = set(c)
+            if all(u in s or w in s for u in vs for w in graph[u]):
+                out.append(frozenset(s))
+    return out
+
+
+def brute_dominating_sets(graph):
+    vs = list(graph)
+    out = []
+    for r in range(len(vs) + 1):
+        for c in combinations(vs, r):
+            s = set(c)
+            if all(u in s or (graph[u] & s) for u in vs):
+                out.append(frozenset(s))
+    return out
+
+
+def brute_colorings(graph, k):
+    vs = list(graph)
+    count = 0
+    for combo in product(range(k), repeat=len(vs)):
+        col = dict(zip(vs, combo))
+        if all(col[u] != col[w] for u in vs for w in graph[u]):
+            count += 1
+    return count
+
+
+# --------------------------------------------------------- decompositions
+
+
+def test_decomposition_valid_on_standard_graphs():
+    for db, expected_width in [
+        (generators.path_graph(12), 1),
+        (generators.cycle_graph(10), 2),
+        (generators.grid_graph(3, 5), 3),
+    ]:
+        graph = adjacency_from_database(db)
+        for strategy in ("min_degree", "min_fill"):
+            td = tree_decomposition(graph, strategy)
+            assert td.is_valid(graph), strategy
+            assert td.width <= expected_width, (strategy, td.width)
+
+
+def test_decomposition_on_random_graphs():
+    for seed in range(5):
+        graph = random_graph(10, 0.3, seed)
+        td = tree_decomposition(graph)
+        assert td.is_valid(graph)
+
+
+def test_decomposition_disconnected_graph():
+    graph = {0: {1}, 1: {0}, 2: set(), 3: {4}, 4: {3}}
+    td = tree_decomposition(graph)
+    assert td.is_valid(graph)
+
+
+def test_empty_graph_decomposition():
+    td = tree_decomposition({})
+    assert td.width <= 0
+
+
+def test_nice_form_has_empty_root_and_valid_kinds():
+    graph = random_graph(8, 0.3, 1)
+    nice = make_nice(tree_decomposition(graph))
+    assert nice.nodes[nice.root].bag == frozenset()
+    for node in nice.nodes:
+        assert node.kind in ("leaf", "introduce", "forget", "join")
+        if node.kind == "join":
+            l, r = node.children
+            assert nice.nodes[l].bag == nice.nodes[r].bag == node.bag
+
+
+def test_validity_detects_broken_decomposition():
+    graph = {0: {1}, 1: {0}}
+    bad = TreeDecomposition([frozenset({0}), frozenset({1})], [None, 0])
+    assert not bad.is_valid(graph)  # edge (0, 1) in no bag
+
+
+# --------------------------------------------------------------------- DP
+
+
+def test_independent_set_counting_randomized():
+    for seed in range(6):
+        graph = random_graph(8, 0.35, seed)
+        expected = brute_independent_sets(graph)
+        assert count_solutions(graph, IndependentSetProperty()) == len(expected)
+        assert optimise(graph, IndependentSetProperty(), maximise=True) == \
+            max(len(s) for s in expected)
+
+
+def test_vertex_cover_randomized():
+    for seed in range(5):
+        graph = random_graph(7, 0.4, seed)
+        expected = brute_vertex_covers(graph)
+        assert count_solutions(graph, VertexCoverProperty()) == len(expected)
+        assert optimise(graph, VertexCoverProperty()) == \
+            min(len(s) for s in expected)
+
+
+def test_dominating_set_randomized():
+    for seed in range(5):
+        graph = random_graph(7, 0.35, seed)
+        expected = brute_dominating_sets(graph)
+        assert count_solutions(graph, DominatingSetProperty()) == len(expected)
+        assert optimise(graph, DominatingSetProperty()) == \
+            min(len(s) for s in expected)
+
+
+def test_coloring_randomized():
+    for seed in range(5):
+        graph = random_graph(7, 0.4, seed)
+        for k in (2, 3):
+            assert count_solutions(graph, ColoringProperty(k)) == \
+                brute_colorings(graph, k), (seed, k)
+
+
+def test_decide_3colorability():
+    k4 = {i: {j for j in range(4) if j != i} for i in range(4)}
+    assert not decide(k4, ColoringProperty(3))
+    assert decide(k4, ColoringProperty(4))
+    cycle = adjacency_from_database(generators.cycle_graph(5))
+    assert decide(cycle, ColoringProperty(3))
+    assert not decide(cycle, ColoringProperty(2))  # odd cycle
+
+
+def test_gallai_identity():
+    """max IS + min VC = n (sanity across two properties)."""
+    for seed in range(4):
+        graph = random_graph(8, 0.3, seed)
+        mis = optimise(graph, IndependentSetProperty(), maximise=True)
+        mvc = optimise(graph, VertexCoverProperty())
+        assert mis + mvc == len(graph)
+
+
+# -------------------------------------------------------------- enumeration
+
+
+def test_enumerate_independent_sets_exact():
+    for seed in range(4):
+        graph = random_graph(7, 0.35, seed)
+        got = list(enumerate_solutions(graph, IndependentSetProperty()))
+        assert len(got) == len(set(got))
+        assert set(got) == set(brute_independent_sets(graph))
+
+
+def test_enumerate_dominating_sets_exact():
+    for seed in range(3):
+        graph = random_graph(6, 0.4, seed)
+        got = list(enumerate_solutions(graph, DominatingSetProperty()))
+        assert len(got) == len(set(got))
+        assert set(got) == set(brute_dominating_sets(graph))
+
+
+def test_enumerate_colorings_count():
+    graph = random_graph(6, 0.4, 2)
+    got = list(enumerate_labelings(graph, ColoringProperty(3)))
+    assert len(got) == brute_colorings(graph, 3)
+
+
+def test_two_cluster_example():
+    """Section 3.3.1: exactly two answers, disjoint, each of size n —
+    no constant-delay enumeration can hop between them."""
+    db, answers = two_cluster_example(6)
+    assert len(answers) == 2
+    a, b = answers
+    assert len(a) == len(b) == 6
+    assert not (a & b)
+    assert a | b == set(range(1, 13))

@@ -1,0 +1,104 @@
+"""Tests for the partition-state connectivity DP (the MSO property whose
+states are partitions, not per-vertex labels)."""
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.data import generators
+from repro.mso.connectivity import (
+    connected_sets_dp,
+    count_connected_sets,
+    has_connected_set_of_size,
+    largest_connected_set,
+)
+from repro.mso.treedecomp import adjacency_from_database
+
+
+def brute(graph):
+    vs = list(graph)
+    total, best = 0, 0
+    for r in range(1, len(vs) + 1):
+        for c in combinations(vs, r):
+            s = set(c)
+            start = next(iter(s))
+            seen = {start}
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for w in graph[u]:
+                    if w in s and w not in seen:
+                        seen.add(w)
+                        stack.append(w)
+            if seen == s:
+                total += 1
+                best = max(best, r)
+    return total, best
+
+
+def random_graph(n, p, seed):
+    rng = random.Random(seed)
+    graph = {i: set() for i in range(n)}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                graph[i].add(j)
+                graph[j].add(i)
+    return graph
+
+
+def test_randomized_against_bruteforce():
+    for seed in range(8):
+        graph = random_graph(7, 0.35, seed)
+        total, best = brute(graph)
+        assert count_connected_sets(graph) == total, seed
+        assert largest_connected_set(graph) == best, seed
+
+
+def test_path_counts():
+    # a path on n vertices has n(n+1)/2 connected sets (contiguous runs)
+    for n in (1, 2, 5, 9):
+        graph = adjacency_from_database(generators.path_graph(n))
+        assert count_connected_sets(graph) == n * (n + 1) // 2
+        assert largest_connected_set(graph) == n
+
+
+def test_cycle_counts():
+    # a cycle on n >= 3 vertices: n arcs per length 1..n-1, plus the whole
+    n = 6
+    graph = adjacency_from_database(generators.cycle_graph(n))
+    assert count_connected_sets(graph) == n * (n - 1) + 1
+
+
+def test_disconnected_graph():
+    graph = {0: {1}, 1: {0}, 2: {3}, 3: {2}}
+    # each edge contributes 3 sets; no set crosses components
+    assert count_connected_sets(graph) == 6
+    assert largest_connected_set(graph) == 2
+    assert has_connected_set_of_size(graph, 2)
+    assert not has_connected_set_of_size(graph, 3)
+
+
+def test_isolated_vertices():
+    graph = {0: set(), 1: set(), 2: set()}
+    assert count_connected_sets(graph) == 3  # singletons only
+    assert largest_connected_set(graph) == 1
+
+
+def test_empty_graph():
+    assert count_connected_sets({}) == 0
+    assert largest_connected_set({}) == 0
+
+
+def test_grid_largest_is_everything():
+    graph = adjacency_from_database(generators.grid_graph(3, 3))
+    assert largest_connected_set(graph) == 9
+
+
+def test_root_table_shape():
+    graph = random_graph(5, 0.4, 1)
+    root = connected_sets_dp(graph)
+    for (partition, done), (count, size) in root.items():
+        assert partition == frozenset()  # root bag is empty
+        assert count > 0 and size >= 0

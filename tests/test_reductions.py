@@ -1,0 +1,208 @@
+"""Tests for the lower-bound reductions (Theorems 4.8, 4.9, 4.15;
+Sections 4.5 and 3.3)."""
+
+import random
+
+import pytest
+
+from repro.csp.ncq_solver import decide_ncq
+from repro.data import generators
+from repro.eval.naive import cq_is_satisfiable_naive
+from repro.eval.yannakakis import acyclic_answers
+from repro.reductions.bmm import (
+    bmm_query,
+    example_47_database,
+    example_47_query,
+    multiply_boolean_naive,
+    multiply_boolean_numpy,
+    multiply_via_query,
+    product_from_example_47_answers,
+)
+from repro.reductions.clique_inequality import (
+    clique_acq_lt_instance,
+    encode_value,
+    has_k_clique_bruteforce,
+)
+from repro.reductions.grid_mso import (
+    check_local_windows,
+    diagram_database,
+    run_automaton,
+)
+from repro.reductions.hyperclique import (
+    boolean_triangle_query,
+    count_triangles,
+    find_hyperclique,
+    find_triangle,
+    random_uniform_hypergraph,
+    tetrahedron_query,
+    triangle_query,
+    tripartite_triangle_database,
+)
+from repro.reductions.sat_ncq import cnf_as_acyclic_ncq, is_alpha_but_not_beta
+
+
+# ------------------------------------------------------------ BMM (Thm 4.8)
+
+
+def test_bmm_query_shape():
+    pi = bmm_query()
+    assert pi.is_acyclic() and not pi.is_free_connex()
+    assert pi.is_self_join_free()
+
+
+def test_three_multiplication_routes_agree():
+    for seed in range(4):
+        a = generators.boolean_matrix(7, 0.3, seed=seed)
+        b = generators.boolean_matrix(7, 0.3, seed=seed + 100)
+        assert multiply_boolean_naive(a, b) == multiply_boolean_numpy(a, b) \
+            == multiply_via_query(a, b)
+
+
+def test_example_47_encoding():
+    q = example_47_query()
+    assert q.is_acyclic() and not q.is_free_connex() and q.is_self_join_free()
+    for seed in range(3):
+        a = generators.boolean_matrix(6, 0.35, seed=seed)
+        b = generators.boolean_matrix(6, 0.35, seed=seed + 50)
+        db = example_47_database(a, b)
+        answers = acyclic_answers(q, db)
+        assert product_from_example_47_answers(answers, 6) == \
+            multiply_boolean_naive(a, b), seed
+
+
+def test_example_47_encoding_is_linear_sized():
+    a = generators.boolean_matrix(10, 0.3, seed=1)
+    b = generators.boolean_matrix(10, 0.3, seed=2)
+    db = example_47_database(a, b)
+    ones = sum(v for row in a for v in row) + sum(v for row in b for v in row)
+    assert db.tuple_count() <= ones + 10  # E adds one tuple per row index
+
+
+# ----------------------------------------------------- triangles (Thm 4.9)
+
+
+def test_triangle_queries_are_cyclic_then_covered():
+    assert not triangle_query().is_acyclic()
+    assert not boolean_triangle_query().is_acyclic()
+    assert tetrahedron_query().is_acyclic()  # Example 4.1's phi_3
+
+
+def test_find_triangle_and_count(triangle_db):
+    from repro.mso.treedecomp import adjacency_from_database
+
+    adj = adjacency_from_database(triangle_db)
+    tri = find_triangle(adj)
+    assert tri is not None
+    assert set(tri) == {1, 2, 3}
+    assert count_triangles(adj) == 1
+
+
+def test_no_triangle_in_path():
+    from repro.mso.treedecomp import adjacency_from_database
+
+    adj = adjacency_from_database(generators.path_graph(10))
+    assert find_triangle(adj) is None
+    assert count_triangles(adj) == 0
+
+
+def test_tripartite_database_triangle_query():
+    db = tripartite_triangle_database(4, 0.6, seed=1)
+    q = boolean_triangle_query()
+    from repro.mso.treedecomp import adjacency_from_database
+
+    assert cq_is_satisfiable_naive(q, db) == (
+        find_triangle(adjacency_from_database(db)) is not None)
+
+
+def test_find_hyperclique():
+    # K_4^(3): all 3-subsets of {0..3} -> a 4-hyperclique
+    edges = random_uniform_hypergraph(4, 3, 1.0, seed=0)
+    assert find_hyperclique(edges, 4) == frozenset({0, 1, 2, 3})
+    # remove one edge: no 4-hyperclique
+    assert find_hyperclique(edges[1:], 4) is None
+
+
+def test_hyperclique_uniformity_checked():
+    with pytest.raises(ValueError):
+        find_hyperclique([frozenset({1, 2})], 4)
+
+
+# ------------------------------------------------- clique + "<" (Thm 4.15)
+
+
+def test_encode_value_injective():
+    n = 5
+    values = {encode_value(i, j, b, n) for i in range(n) for j in range(n)
+              for b in (0, 1)}
+    assert len(values) == n * n * 2
+
+
+def test_clique_reduction_correct_randomized():
+    rng = random.Random(1)
+    for trial in range(6):
+        n = 6
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)
+                 if rng.random() < 0.55]
+        query, db = clique_acq_lt_instance(edges, n, 3)
+        assert query.without_comparisons().is_acyclic()
+        got = cq_is_satisfiable_naive(query, db)
+        assert got == has_k_clique_bruteforce(edges, n, 3), (trial, edges)
+
+
+def test_clique_reduction_positive_instance():
+    edges = [(0, 1), (1, 2), (0, 2), (2, 3)]
+    query, db = clique_acq_lt_instance(edges, 4, 3)
+    assert cq_is_satisfiable_naive(query, db)
+    query4, db4 = clique_acq_lt_instance(edges, 4, 4)
+    assert not cq_is_satisfiable_naive(query4, db4)
+
+
+def test_clique_query_comparison_graph_is_acyclic_but_query_expresses_clique():
+    query, _db = clique_acq_lt_instance([(0, 1)], 2, 2)
+    # the relational part alone is acyclic; power comes from "<" only
+    assert query.without_comparisons().is_acyclic()
+    assert query.order_comparisons()
+
+
+# ----------------------------------------------------- SAT as NCQ (Sec 4.5)
+
+
+def test_cnf_as_acyclic_ncq_preserves_satisfiability():
+    for seed in range(6):
+        cnf = generators.random_kcnf(5, 9, k=3, seed=seed)
+        ncq, db = cnf_as_acyclic_ncq(cnf, 5)
+        alpha, beta = is_alpha_but_not_beta(ncq)
+        assert alpha  # the full edge makes it alpha-acyclic, always
+        from repro.csp.cnf import clauses_satisfiable_bruteforce
+
+        truth = clauses_satisfiable_bruteforce(
+            [frozenset(c) for c in cnf], 5)
+        assert decide_ncq(ncq, db) == truth, seed
+
+
+def test_acyclified_sat_is_rarely_beta_acyclic():
+    cnf = [[1, 2], [-2, 3], [-3, -1]]  # cyclic clause structure
+    ncq, _db = cnf_as_acyclic_ncq(cnf, 3)
+    alpha, beta = is_alpha_but_not_beta(ncq)
+    assert alpha and not beta
+
+
+# ------------------------------------------------- grids & MSO (Sec 3.3)
+
+
+def test_automaton_diagram_checks():
+    initial = [0, 1, 0, 0, 1, 1, 0, 1]
+    diagram = run_automaton(initial, steps=6, rule=110)
+    db = diagram_database(diagram)
+    assert check_local_windows(db, rule=110)
+    # corrupt one cell: the local checks must catch it
+    bad = [row[:] for row in diagram]
+    bad[3][2] ^= 1
+    assert not check_local_windows(diagram_database(bad), rule=110)
+
+
+def test_diagram_database_is_coloured_grid():
+    diagram = run_automaton([1, 0, 1], steps=2, rule=90)
+    db = diagram_database(diagram)
+    assert db.has_relation("E") and db.has_relation("C0") and db.has_relation("C1")
+    assert len(db.relation("C0")) + len(db.relation("C1")) == 3 * 3

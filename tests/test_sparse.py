@@ -1,0 +1,110 @@
+"""Tests for sparsity notions: degree, shallow minors, class descriptors
+(Sections 3.1-3.2, Definitions 3.4-3.5 and 3.8)."""
+
+from repro.data import generators
+from repro.mso.treedecomp import adjacency_from_database
+from repro.sparse.classes import (
+    BoundedDegreeClass,
+    CliqueClass,
+    GridClass,
+    LowDegreeClass,
+)
+from repro.sparse.degree import (
+    is_degree_bounded,
+    is_low_degree_family,
+    low_degree_epsilon,
+    structure_degree,
+)
+from repro.sparse.minors import (
+    ball,
+    clique_minor_number,
+    has_shallow_clique_minor,
+    shallow_minor_clique,
+)
+
+
+def test_structure_degree_matches_database():
+    db = generators.path_graph(10)
+    assert structure_degree(db) == db.degree()
+    assert is_degree_bounded(db, 4)
+    assert not is_degree_bounded(db, 1)
+
+
+def test_low_degree_epsilon_monotone_for_clique_family():
+    """clique_plus_independent(k): degree stays k-ish while the domain is
+    ~2^k, so the epsilon witnesses shrink — a low-degree family."""
+    eps = [low_degree_epsilon(generators.clique_plus_independent(k))
+           for k in (3, 5, 7, 9)]
+    assert is_low_degree_family(eps, threshold=0.75)
+    assert eps[-1] < eps[0]
+
+
+def test_dense_family_is_not_low_degree():
+    def clique(n):
+        return generators.graph_database(
+            [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+    eps = [low_degree_epsilon(clique(n)) for n in (4, 8, 12)]
+    assert not is_low_degree_family(eps, threshold=0.5)
+
+
+def test_ball():
+    graph = adjacency_from_database(generators.path_graph(10))
+    assert ball(graph, 5, 0) == {5}
+    assert ball(graph, 5, 1) == {4, 5, 6}
+    assert ball(graph, 5, 2) == {3, 4, 5, 6, 7}
+
+
+def test_clique_has_shallow_clique_minors():
+    k5 = adjacency_from_database(generators.graph_database(
+        [(i, j) for i in range(5) for j in range(i + 1, 5)]))
+    # the clique IS its own 0-minor
+    witness = shallow_minor_clique(k5, 5, 0)
+    assert witness is not None
+    assert all(len(s) == 1 for s in witness)
+
+
+def test_path_has_no_large_shallow_clique_minor():
+    path = adjacency_from_database(generators.path_graph(8))
+    assert has_shallow_clique_minor(path, 2, 0)       # an edge = K_2
+    assert not has_shallow_clique_minor(path, 3, 1)   # no K_3 at depth 1
+    # (K_3 needs a cycle; paths have none at any depth)
+    assert not has_shallow_clique_minor(path, 3, 2)
+
+
+def test_grid_k4_minor_at_depth_1():
+    grid = adjacency_from_database(generators.grid_graph(3, 3))
+    assert has_shallow_clique_minor(grid, 3, 1)
+    # planar graphs never contain K_5 minors at any depth
+    assert not has_shallow_clique_minor(grid, 5, 1)
+
+
+def test_clique_minor_number():
+    cycle = adjacency_from_database(generators.cycle_graph(6))
+    assert clique_minor_number(cycle, 0, 4) == 2   # only edges at depth 0
+    assert clique_minor_number(cycle, 2, 4) >= 3   # contract to a triangle
+
+
+def test_class_descriptors_profiles():
+    bd = BoundedDegreeClass(degree=3, seed=1)
+    profile = bd.profile(20, r=1, max_k=4)
+    assert profile["degree"] <= 6
+    assert profile["expected_nowhere_dense"]
+
+    cl = CliqueClass()
+    profile = cl.profile(6, r=1, max_k=5)
+    assert profile["clique_minor_number_r1"] == 5
+    assert not profile["expected_nowhere_dense"]
+
+
+def test_grid_class_profile():
+    g = GridClass()
+    profile = g.profile(9, r=1, max_k=5)
+    assert profile["clique_minor_number_r1"] <= 4  # planar: K5-minor-free
+    assert profile["expected_nowhere_dense"]
+
+
+def test_low_degree_class_members_grow():
+    ld = LowDegreeClass(seed=0)
+    eps = [low_degree_epsilon(ld.member(n)) for n in (64, 256, 1024)]
+    assert eps[-1] <= eps[0] + 0.05

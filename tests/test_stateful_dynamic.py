@@ -1,0 +1,69 @@
+"""Stateful property-based testing (hypothesis RuleBasedStateMachine):
+drive a DynamicFreeConnexView with arbitrary interleavings of inserts,
+deletes and reads, checking it against from-scratch recomputation after
+every step."""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import settings
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.dynamic import DynamicFreeConnexView
+from repro.eval.naive import evaluate_cq_naive
+from repro.logic.parser import parse_cq
+
+QUERY = parse_cq("Q(x, y) :- R(x, w), S(y, u), B(u)")
+ARITIES = QUERY.relation_arities()
+VALUES = st.integers(0, 3)
+
+
+class DynamicViewMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.view = DynamicFreeConnexView(QUERY, materialize=True)
+        self.shadow = {name: set() for name in ARITIES}
+        self.prev_answers = set()
+
+    def _tuple(self, name, values):
+        return tuple(values[: ARITIES[name]])
+
+    @rule(name=st.sampled_from(sorted(ARITIES)),
+          values=st.tuples(VALUES, VALUES))
+    def insert(self, name, values):
+        tup = self._tuple(name, values)
+        self.shadow[name].add(tup)
+        self.view.insert(name, tup)
+
+    @rule(name=st.sampled_from(sorted(ARITIES)),
+          values=st.tuples(VALUES, VALUES))
+    def delete(self, name, values):
+        tup = self._tuple(name, values)
+        self.shadow[name].discard(tup)
+        self.view.delete(name, tup)
+
+    def _truth(self):
+        rels = []
+        for name, arity in ARITIES.items():
+            rels.append(Relation(name, arity, self.shadow[name]))
+        db = Database(rels, domain=range(4))
+        return evaluate_cq_naive(QUERY, db)
+
+    @rule()
+    def check_deltas(self):
+        truth = self._truth()
+        added, removed = self.view.pop_changes()
+        assert set(added) == truth - self.prev_answers
+        assert set(removed) == self.prev_answers - truth
+        self.prev_answers = truth
+
+    @invariant()
+    def answers_match_recomputation(self):
+        truth = self._truth()
+        assert self.view.answers() == truth
+        assert self.view.count_answers() == len(truth)
+
+
+DynamicViewMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+TestDynamicView = DynamicViewMachine.TestCase

@@ -1,0 +1,101 @@
+"""Unit tests for body homomorphisms, provided variables and union
+extensions (Definitions 4.11-4.12, Equation 1)."""
+
+from repro.hypergraph.unionext import (
+    body_homomorphisms,
+    find_free_connex_extension,
+    is_free_connex_ucq,
+    provided_sets,
+    union_extension_plan,
+)
+from repro.logic.parser import parse_cq, parse_query
+from repro.logic.terms import Variable
+from repro.logic.ucq import UnionOfConjunctiveQueries
+
+
+def equation1_ucq() -> UnionOfConjunctiveQueries:
+    phi1 = parse_cq("Q(x, y, w) :- R1(x, z), R2(z, y), R3(x, w)")
+    phi2 = parse_cq("Q(x, z, y) :- R1(x, z), R2(z, y)")
+    return UnionOfConjunctiveQueries([phi1, phi2])
+
+
+def test_body_homomorphism_exists():
+    phi1 = parse_cq("Q(x, y, w) :- R1(x, z), R2(z, y), R3(x, w)")
+    phi2 = parse_cq("Q(x, z, y) :- R1(x, z), R2(z, y)")
+    homs = list(body_homomorphisms(phi2, phi1))
+    assert len(homs) == 1
+    h = homs[0]
+    assert h[Variable("x")] is Variable("x")
+    assert h[Variable("z")] is Variable("z")
+    assert h[Variable("y")] is Variable("y")
+
+
+def test_no_homomorphism_when_relations_missing():
+    src = parse_cq("Q(x) :- T(x, y)")
+    dst = parse_cq("Q(x) :- R(x, y)")
+    assert list(body_homomorphisms(src, dst)) == []
+
+
+def test_homomorphism_respects_constants():
+    src = parse_cq("Q(x) :- R(x, 1)")
+    dst_ok = parse_cq("Q(x) :- R(x, 1)")
+    dst_bad = parse_cq("Q(x) :- R(x, 2)")
+    assert list(body_homomorphisms(src, dst_ok))
+    assert not list(body_homomorphisms(src, dst_bad))
+
+
+def test_homomorphism_merging_variables():
+    src = parse_cq("Q(x, y) :- R(x, y)")
+    dst = parse_cq("Q(u) :- R(u, u)")
+    homs = list(body_homomorphisms(src, dst))
+    assert len(homs) == 1
+    assert homs[0][Variable("x")] is homs[0][Variable("y")]
+
+
+def test_equation1_provided_set():
+    """phi2 provides {x, z, y} to phi1 (the paper's worked example)."""
+    ucq = equation1_ucq()
+    provided = provided_sets(ucq[1], 1, ucq[0])
+    images = {frozenset(v.name for v in p.variables) for p in provided}
+    assert frozenset({"x", "z", "y"}) in images
+
+
+def test_equation1_extension_is_free_connex():
+    ucq = equation1_ucq()
+    assert not ucq[0].is_free_connex()
+    ext = find_free_connex_extension(ucq, 0)
+    assert ext is not None and not ext.is_trivial()
+    assert ext.extended.is_free_connex()
+    # the added atom covers {x, z, y}, matching P1(x, z, y) in the paper
+    added = ext.extended.atoms[-1]
+    assert {v.name for v in added.variable_set()} == {"x", "y", "z"}
+
+
+def test_trivial_extension_for_free_connex_disjunct():
+    ucq = equation1_ucq()
+    ext = find_free_connex_extension(ucq, 1)
+    assert ext is not None and ext.is_trivial()
+
+
+def test_union_extension_plan_complete():
+    ucq = equation1_ucq()
+    plan = union_extension_plan(ucq)
+    assert plan is not None and len(plan) == 2
+    assert is_free_connex_ucq(ucq)
+
+
+def test_intractable_union_has_no_plan():
+    """Two unrelated non-free-connex disjuncts provide nothing useful."""
+    phi1 = parse_cq("Q(x, y) :- A(x, z), B(z, y)")
+    phi2 = parse_cq("Q(x, y) :- C(x, z), D(z, y)")
+    ucq = UnionOfConjunctiveQueries([phi1, phi2])
+    assert union_extension_plan(ucq) is None
+    assert not is_free_connex_ucq(ucq)
+
+
+def test_self_union_of_free_connex():
+    phi = parse_cq("Q(x) :- R(x, y)")
+    ucq = UnionOfConjunctiveQueries([phi, parse_cq("Q(x) :- S(x, y)")])
+    plan = union_extension_plan(ucq)
+    assert plan is not None
+    assert all(e.is_trivial() for e in plan)

@@ -1,0 +1,75 @@
+"""Tests for the DOT/text exporters."""
+
+from repro.figures import figure1_query, figure2_query
+from repro.hypergraph.freeconnex import free_connex_join_tree
+from repro.hypergraph.jointree import join_tree_of_query
+from repro.logic.parser import parse_cq
+from repro.mso.treedecomp import adjacency_from_database, tree_decomposition
+from repro.data import generators
+from repro.viz import (
+    hypergraph_to_dot,
+    join_tree_to_dot,
+    query_to_dot,
+    s_components_to_dot,
+    tree_decomposition_to_dot,
+)
+
+
+def test_hypergraph_dot_structure():
+    q = parse_cq("Q(x) :- R(x, y), S(y, z)")
+    dot = hypergraph_to_dot(q.hypergraph(), q.free_variables())
+    assert dot.startswith("graph H {") and dot.endswith("}")
+    assert '"x" [shape=doublecircle]' in dot  # free variable doubled
+    assert '"y" [shape=circle]' in dot
+    assert "e0" in dot and "e1" in dot
+    assert dot.count(" -- ") == 4  # two binary edges -> four incidences
+
+
+def test_join_tree_dot():
+    q = parse_cq("Q(x) :- R(x, y), S(y, z)")
+    tree = join_tree_of_query(q)
+    dot = join_tree_to_dot(tree, highlight=[tree.root])
+    assert dot.startswith("digraph T {")
+    assert "fillcolor" in dot
+    assert dot.count("->") == 1  # two nodes, one tree edge
+
+
+def test_free_connex_tree_dot_of_figure1():
+    q = figure1_query()
+    tree, virtual = free_connex_join_tree(q)
+    dot = join_tree_to_dot(tree, highlight=[virtual])
+    assert "x1,x2,x3" in dot
+    assert dot.count("->") == len(tree.nodes()) - 1
+
+
+def test_s_components_dot_figure3():
+    q = figure2_query()
+    dot = s_components_to_dot(q.hypergraph(), q.free_variables())
+    assert dot.count("subgraph cluster_") == 3
+    assert '"1_y6"' in dot or '"2_y6"' in dot  # y6 appears in two clusters
+
+
+def test_tree_decomposition_dot():
+    graph = adjacency_from_database(generators.cycle_graph(6))
+    td = tree_decomposition(graph)
+    dot = tree_decomposition_to_dot(td)
+    assert dot.startswith("digraph TD {")
+    assert dot.count("shape=box") == len(td.bags)
+
+
+def test_query_to_dot_quotes_labels():
+    q = parse_cq('Q(x) :- R(x, "a b")')
+    dot = query_to_dot(q)
+    assert "graph Q {" in dot
+    # the constant does not appear as a vertex; only variables do
+    assert '"x"' in dot
+
+
+def test_dot_is_parseable_shape():
+    """Each emitted line inside the braces is a node, edge or attr."""
+    q = figure2_query()
+    dot = hypergraph_to_dot(q.hypergraph(), q.free_variables())
+    body = dot.splitlines()[1:-1]
+    for line in body:
+        line = line.strip()
+        assert line.endswith(";") or line.endswith("{") or line == "}"
