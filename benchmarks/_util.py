@@ -9,11 +9,14 @@ representative operation with pytest-benchmark.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from typing import Callable, List, Sequence, Tuple
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CORE_RESULTS = os.path.join(REPO_ROOT, "BENCH_core.json")
 
 
 def record(name: str, text: str) -> str:
@@ -22,6 +25,31 @@ def record(name: str, text: str) -> str:
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as fh:
         fh.write(text.rstrip() + "\n")
+    return path
+
+
+def record_core(op: str, n: int, backend: str, seconds: float,
+                path: str = CORE_RESULTS) -> str:
+    """Merge one kernel measurement into the consolidated ``BENCH_core.json``
+    at the repo root (the file `python -m repro bench-core` also writes).
+
+    Rows are keyed on (op, n, backend); re-recording replaces the old row,
+    so repeated benchmark runs keep one current number per configuration.
+    """
+    rows: List[dict] = []
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                rows = json.load(fh)
+        except ValueError:
+            rows = []
+    rows = [r for r in rows
+            if (r.get("op"), r.get("n"), r.get("backend")) != (op, n, backend)]
+    rows.append({"op": op, "n": n, "backend": backend, "seconds": seconds})
+    rows.sort(key=lambda r: (r["op"], r["n"], r["backend"]))
+    with open(path, "w") as fh:
+        json.dump(rows, fh, indent=2)
+        fh.write("\n")
     return path
 
 

@@ -74,11 +74,21 @@ def cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _select_engine(args: argparse.Namespace) -> None:
+    """Apply a --engine flag (if given) to the process-wide selection."""
+    name = getattr(args, "engine", None)
+    if name:
+        from repro.engine import set_engine
+
+        set_engine(name)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Evaluate a query over CSV relations (count, limit supported)."""
     from repro.core.planner import count, enumerate_answers
     from repro.logic.parser import parse_query
 
+    _select_engine(args)
     query = parse_query(args.query)
     db = load_csv_database(args.data)
     if args.count:
@@ -160,6 +170,55 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_core(args: argparse.Namespace) -> int:
+    """Time the core relational kernel (full reducer, Yannakakis,
+    counting) on every registered backend and write BENCH_core.json."""
+    import json
+    import time as _time
+
+    from repro.counting.acq_count import count_quantifier_free_acyclic
+    from repro.data import generators
+    from repro.engine import available_engines
+    from repro.eval.yannakakis import full_reducer, yannakakis
+    from repro.logic.parser import parse_cq
+
+    full_q = parse_cq("Q(x, z, y) :- R(x, z), S(z, y)")
+    backends = args.engines or available_engines()
+    rows = []
+    print(f"{'op':>16} {'n':>9} {'backend':>9} {'seconds':>10}")
+    for n in args.sizes:
+        db = generators.random_database({"R": 2, "S": 2}, max(4, n // 4), n,
+                                        seed=7)
+        for backend in backends:
+            ops = {
+                "full_reducer": lambda: full_reducer(full_q, db,
+                                                     engine=backend),
+                "yannakakis_full": lambda: yannakakis(full_q, db,
+                                                      engine=backend),
+                "acyclic_count": lambda: count_quantifier_free_acyclic(
+                    full_q, db, engine=backend),
+            }
+            for op, fn in ops.items():
+                fn()  # warm caches (join tree, dictionary encoding)
+                best = min(
+                    _timed_once(_time, fn) for _ in range(max(1, args.repeats))
+                )
+                rows.append({"op": op, "n": n, "backend": backend,
+                             "seconds": best})
+                print(f"{op:>16} {n:>9} {backend:>9} {best:>10.6f}")
+    with open(args.output, "w") as fh:
+        json.dump(rows, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _timed_once(time_mod, fn) -> float:
+    start = time_mod.perf_counter()
+    fn()
+    return time_mod.perf_counter() - start
+
+
 def cmd_bench_delay(args: argparse.Namespace) -> int:
     """Quick delay experiment: free-connex vs Algorithm 2."""
     from repro.data import generators
@@ -167,6 +226,8 @@ def cmd_bench_delay(args: argparse.Namespace) -> int:
     from repro.enumeration.free_connex import FreeConnexEnumerator
     from repro.logic.parser import parse_cq
     from repro.perf.delay import measure_enumerator
+
+    _select_engine(args)
 
     fc = parse_cq("Q(x) :- R(x, z), S(z, y)")
     lin = parse_cq("Q(x, y) :- R(x, z), S(z, y)")
@@ -204,6 +265,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--count", action="store_true", help="print |Q(D)| only")
     p.add_argument("--limit", type=int, default=None,
                    help="stop after N answers")
+    p.add_argument("--engine", default=None,
+                   help="relational backend: tuple (default) or columnar "
+                        "(also via the REPRO_ENGINE environment variable)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("doctor", help="minimise + classify + suggest fixes")
@@ -216,7 +280,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench-delay", help="quick delay experiment")
     p.add_argument("--sizes", type=int, nargs="+",
                    default=[1000, 4000, 16000])
+    p.add_argument("--engine", default=None,
+                   help="relational backend for the preprocessing phase")
     p.set_defaults(fn=cmd_bench_delay)
+
+    p = sub.add_parser("bench-core",
+                       help="time the relational kernel per backend")
+    p.add_argument("--sizes", type=int, nargs="+",
+                   default=[10000, 30000, 100000])
+    p.add_argument("--engines", nargs="+", default=None,
+                   help="backends to time (default: all registered)")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--output", default="BENCH_core.json")
+    p.set_defaults(fn=cmd_bench_core)
 
     return parser
 

@@ -30,7 +30,7 @@ from repro.eval.naive import cq_is_satisfiable_naive, evaluate_cq_naive
 from repro.eval.yannakakis import full_reducer, yannakakis_boolean
 from repro.hypergraph.components import free_cover_atoms, s_components
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.hypergraph.jointree import build_join_tree
+from repro.hypergraph.jointree import build_join_tree, cached_join_tree
 from repro.logic.cq import ConjunctiveQuery
 from repro.logic.terms import Variable
 
@@ -43,6 +43,11 @@ def count_full_acyclic_join(relations: Sequence[VarRelation],
     passing: for each node tuple, the number (weight) of extensions into
     its subtree; each variable's weight is charged at the unique top node
     of its occurrence subtree.
+
+    When every relation is columnar and the weight is the plain counting
+    weight, the messages are computed by vectorized group-sums
+    (:func:`repro.engine.columnar.count_acyclic_join_columnar`; exact up
+    to the int64 range) instead of per-tuple dict probes.
     """
     w = weights or WeightFunction.ones()
     relations = list(relations)
@@ -60,7 +65,7 @@ def count_full_acyclic_join(relations: Sequence[VarRelation],
         {v for r in relations for v in r.variables},
         [frozenset(r.variables) for r in relations],
     )
-    tree = build_join_tree(h)
+    tree = cached_join_tree(h)
 
     # variables charged at each node: those absent from the parent
     charged: Dict[int, Tuple[Variable, ...]] = {}
@@ -76,18 +81,33 @@ def count_full_acyclic_join(relations: Sequence[VarRelation],
         charged[node] = mine
         seen_top.update(mine)
 
-    # messages[child]: key over shared-with-parent vars -> sum of weights
-    messages: Dict[int, Dict[Tuple[Any, ...], Any]] = {}
+    # variables each node shares with its parent (the message key schema)
     share_vars: Dict[int, Tuple[Variable, ...]] = {}
     for node in tree.bottom_up():
-        rel = relations[node]
         parent = tree.parent[node]
         if parent is None:
-            shared: Tuple[Variable, ...] = ()
+            share_vars[node] = ()
         else:
             parent_vars = set(relations[parent].variables)
-            shared = tuple(v for v in rel.variables if v in parent_vars)
-        share_vars[node] = shared
+            share_vars[node] = tuple(
+                v for v in relations[node].variables if v in parent_vars)
+
+    from repro.engine.columnar import ColumnarRelation, count_acyclic_join_columnar
+
+    unweighted = weights is None or (
+        isinstance(weights, WeightFunction) and weights.is_ones())
+    if unweighted and all(
+            isinstance(r, ColumnarRelation)
+            and r.dictionary is relations[0].dictionary
+            for r in relations):
+        return count_acyclic_join_columnar(relations, tree, charged,
+                                           share_vars)
+
+    # messages[child]: key over shared-with-parent vars -> sum of weights
+    messages: Dict[int, Dict[Tuple[Any, ...], Any]] = {}
+    for node in tree.bottom_up():
+        rel = relations[node]
+        shared = share_vars[node]
         charged_pos = [rel.position(v) for v in charged[node]]
         shared_pos = [rel.position(v) for v in shared]
         child_info = [
@@ -118,7 +138,8 @@ def count_full_acyclic_join(relations: Sequence[VarRelation],
 
 
 def count_quantifier_free_acyclic(cq: ConjunctiveQuery, db: Database,
-                                  weights: Optional[WeightFunction] = None) -> Any:
+                                  weights: Optional[WeightFunction] = None,
+                                  engine=None) -> Any:
     """#F-ACQ^0 (Theorem 4.21): weighted count of a projection-free ACQ."""
     if not cq.is_quantifier_free():
         raise UnsupportedQueryError(
@@ -129,10 +150,10 @@ def count_quantifier_free_acyclic(cq: ConjunctiveQuery, db: Database,
         raise UnsupportedQueryError("comparisons are not supported in counting")
     from repro.eval.yannakakis import materialise_atoms
 
-    return count_full_acyclic_join(materialise_atoms(cq, db), weights)
+    return count_full_acyclic_join(materialise_atoms(cq, db, engine), weights)
 
 
-def derive_counting_join(cq: ConjunctiveQuery, db: Database
+def derive_counting_join(cq: ConjunctiveQuery, db: Database, engine=None
                          ) -> Optional[List[VarRelation]]:
     """The star-size decomposition behind Theorem 4.28.
 
@@ -144,7 +165,7 @@ def derive_counting_join(cq: ConjunctiveQuery, db: Database
     """
     free = cq.free_variables()
     h = cq.hypergraph()
-    tree, reduced = full_reducer(cq, db)
+    tree, reduced = full_reducer(cq, db, engine=engine)
     if any(len(r) == 0 for r in reduced):
         return None
 
@@ -171,7 +192,9 @@ def derive_counting_join(cq: ConjunctiveQuery, db: Database
         # verify each candidate against the whole component, probing the
         # already-reduced relations (no re-materialisation per candidate)
         comp_relations = [reduced[j] for j in comp.edge_indexes]
-        verified = VarRelation(f_vars)
+        from repro.engine import resolve_engine
+
+        verified = resolve_engine(engine).relation(f_vars)
         for t in candidates:
             if _component_satisfiable(comp_relations, dict(zip(f_vars, t))):
                 verified.add(t)
@@ -221,7 +244,8 @@ def _component_satisfiable(relations: List[VarRelation],
 
 
 def count_acq(cq: ConjunctiveQuery, db: Database,
-              weights: Optional[WeightFunction] = None) -> Any:
+              weights: Optional[WeightFunction] = None,
+              engine=None) -> Any:
     """#ACQ via quantified star size (Theorem 4.28): weighted count of the
     *answers* (distinct head tuples) of an acyclic CQ.
 
@@ -232,7 +256,7 @@ def count_acq(cq: ConjunctiveQuery, db: Database,
         raise UnsupportedQueryError("comparisons are not supported in counting")
     if not cq.is_acyclic():
         raise NotAcyclicError(f"query {cq!r} is not acyclic; use count_cq_naive")
-    derived = derive_counting_join(cq, db)
+    derived = derive_counting_join(cq, db, engine=engine)
     if derived is None:
         return 0
     if cq.is_boolean():

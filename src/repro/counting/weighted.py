@@ -22,6 +22,7 @@ class WeightFunction:
     def __init__(self, source: Union[Mapping[Any, Any], Callable[[Any], Any], None] = None,
                  default: Any = 1):
         self._default = default
+        self._trivial = source is None and default == 1
         if source is None:
             self._fn: Callable[[Any], Any] = lambda _x: default
         elif callable(source):
@@ -32,6 +33,11 @@ class WeightFunction:
 
     def __call__(self, element: Any) -> Any:
         return self._fn(element)
+
+    def is_ones(self) -> bool:
+        """True when this is the plain counting weight (w = 1 everywhere),
+        letting backends take exact integer fast paths."""
+        return self._trivial
 
     def tuple_weight(self, tup: Iterable[Any]) -> Any:
         """w(a) = prod_i w(a_i)."""

@@ -32,7 +32,7 @@ class Relation:
         Optional initial contents; duplicates are silently collapsed.
     """
 
-    __slots__ = ("name", "arity", "_tuples", "_indexes")
+    __slots__ = ("name", "arity", "_tuples", "_indexes", "_colcache")
 
     def __init__(self, name: str, arity: int, tuples: Optional[Iterable[Sequence[Any]]] = None):
         if arity < 0:
@@ -43,6 +43,9 @@ class Relation:
         self._tuples: Dict[Tup, None] = {}
         # (columns) -> {key tuple -> list of full tuples}
         self._indexes: Dict[Tuple[int, ...], Dict[Tup, List[Tup]]] = {}
+        # dictionary-encoded column cache of the columnar engine
+        # (see repro.engine.columnar.encoded_relation_columns)
+        self._colcache = None
         if tuples is not None:
             for t in tuples:
                 self.add(t)
@@ -59,16 +62,34 @@ class Relation:
         if t in self._tuples:
             return
         self._tuples[t] = None
+        self._colcache = None
         for cols, index in self._indexes.items():
             index.setdefault(tuple(t[c] for c in cols), []).append(t)
 
     def discard(self, tup: Sequence[Any]) -> None:
-        """Remove a tuple if present (invalidates indexes lazily)."""
+        """Remove a tuple if present, maintaining indexes incrementally.
+
+        Each existing index drops the tuple from its bucket (O(bucket)
+        per index) instead of being thrown away wholesale, so update
+        sequences (e.g. :mod:`repro.dynamic.view`) never pay a full
+        index rebuild on the next probe.
+        """
         t = tuple(tup)
-        if t in self._tuples:
-            del self._tuples[t]
-            # rebuilding indexes on deletion keeps probe results correct
-            self._indexes.clear()
+        if t not in self._tuples:
+            return
+        del self._tuples[t]
+        self._colcache = None
+        for cols, index in self._indexes.items():
+            key = tuple(t[c] for c in cols)
+            bucket = index.get(key)
+            if bucket is None:
+                continue
+            try:
+                bucket.remove(t)
+            except ValueError:  # pragma: no cover - buckets mirror _tuples
+                continue
+            if not bucket:
+                del index[key]
 
     def __contains__(self, tup: Sequence[Any]) -> bool:
         return tuple(tup) in self._tuples

@@ -1,0 +1,584 @@
+"""Columnar relational kernel: dictionary-encoded numpy columns.
+
+A :class:`ColumnarRelation` stores one int64 numpy array per variable
+(column); arbitrary Python values are mapped to dense integer codes by a
+shared :class:`ValueDictionary`, so every relational operation reduces to
+integer-key kernels:
+
+* **semijoin** — joint group-id computation over the shared columns of the
+  two operands, then a dense boolean membership mask (linear after the
+  grouping);
+* **natural join** — sort-merge on joint group ids: argsort the build
+  side, ``searchsorted`` the probe side, expand matches with
+  ``repeat``/``cumsum`` arithmetic (no per-tuple Python);
+* **project / distinct** — group ids plus first-occurrence selection, so
+  insertion order is preserved like the tuple backend;
+* **group-count** — `grouped_sums` powers the vectorized acyclic counting
+  message passing (Theorem 4.21) in :mod:`repro.counting.acq_count`.
+
+The class is duck-compatible with :class:`repro.eval.join.VarRelation`
+(``variables``, ``position``, ``project``, ``semijoin``, ``join``,
+``index_on``, ``probe``, iteration, ...), so every join-tree algorithm
+runs unmodified on either backend; hash-index probes fall back to a
+decoded per-relation dict index, which keeps enumeration correct while
+the bulk passes (full reducer, joins, counting) stay vectorized.
+
+Grouping uses sorting (`np.unique`), so the kernels run in O(n log n)
+worst case — a log factor over the RAM-model hash bounds of the paper,
+which leaves the measured scaling *shapes* intact (see
+``benchmarks/test_bench_engines.py``).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.errors import SchemaMismatchError
+from repro.logic.terms import Constant, Variable
+
+Tup = Tuple[Any, ...]
+
+_INT_KINDS = "iu"
+
+
+class ValueDictionary:
+    """A bijective value <-> int64 code dictionary shared by columns.
+
+    Codes are assigned densely in first-seen order.  All relations taking
+    part in one computation must share the dictionary so that per-column
+    codes are directly comparable across relations (the default global
+    dictionary makes this automatic).
+    """
+
+    __slots__ = ("_codes", "_values")
+
+    def __init__(self) -> None:
+        self._codes: Dict[Any, int] = {}
+        self._values: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def encode(self, value: Any) -> int:
+        """Code of ``value``, assigning a fresh one if needed."""
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._values)
+            self._codes[value] = code
+            self._values.append(value)
+        return code
+
+    def code_of(self, value: Any) -> Optional[int]:
+        """Code of ``value`` or None if it was never interned."""
+        return self._codes.get(value)
+
+    def decode(self, code: int) -> Any:
+        return self._values[code]
+
+    def encode_values(self, values: Sequence[Any]) -> np.ndarray:
+        """Encode a Python sequence into an int64 code array."""
+        encode = self.encode
+        return np.fromiter((encode(v) for v in values), dtype=np.int64,
+                           count=len(values))
+
+    def encode_column(self, column: np.ndarray) -> np.ndarray:
+        """Encode one raw column, vectorized for integer dtypes.
+
+        Integer columns are encoded through their (few) distinct values:
+        one Python-level dictionary insertion per *distinct* value, one
+        ``searchsorted`` gather for the bulk.
+        """
+        arr = np.asarray(column)
+        if arr.dtype.kind in _INT_KINDS and arr.size:
+            uniq, inverse = np.unique(arr, return_inverse=True)
+            encode = self.encode
+            codes_for_uniq = np.fromiter(
+                (encode(int(v)) for v in uniq), dtype=np.int64,
+                count=len(uniq))
+            return codes_for_uniq[inverse.reshape(-1)]
+        return self.encode_values(list(column))
+
+    def decode_column(self, codes: np.ndarray) -> np.ndarray:
+        """Decode a code array into an object array of original values."""
+        table = np.empty(len(self._values), dtype=object)
+        table[:] = self._values
+        return table[codes]
+
+
+_DEFAULT_DICTIONARY = ValueDictionary()
+
+
+def default_dictionary() -> ValueDictionary:
+    """The process-wide dictionary used when none is given explicitly."""
+    return _DEFAULT_DICTIONARY
+
+
+# ------------------------------------------------------------------ grouping
+
+
+def group_ids(columns: Sequence[np.ndarray], length: int
+              ) -> Tuple[np.ndarray, int]:
+    """Dense group ids of the row tuples formed by ``columns``.
+
+    Returns ``(ids, cardinality)`` with ``ids`` an int64 array of length
+    ``length`` and every id in ``[0, cardinality)``.  Rows are in the same
+    group iff they agree on every column.  Multi-column keys are packed
+    pairwise with re-densification, so intermediate products never
+    overflow int64.
+    """
+    if not columns:
+        return np.zeros(length, dtype=np.int64), 1
+    acc = columns[0]
+    card = int(acc.max()) + 1 if acc.size else 1
+    for col in columns[1:]:
+        ccard = int(col.max()) + 1 if col.size else 1
+        if card > 1 and ccard > (2 ** 62) // card:
+            uniq, inverse = np.unique(acc, return_inverse=True)
+            acc = inverse.reshape(-1)
+            card = len(uniq) if len(uniq) else 1
+        acc = acc * ccard + col
+        card = card * ccard
+    if card > max(1024, 4 * length):
+        uniq, inverse = np.unique(acc, return_inverse=True)
+        acc = inverse.reshape(-1)
+        card = len(uniq) if len(uniq) else 1
+    return acc.astype(np.int64, copy=False), int(card)
+
+
+def first_occurrences(ids: np.ndarray) -> np.ndarray:
+    """Indices of the first row of each group, in insertion order."""
+    _uniq, first = np.unique(ids, return_index=True)
+    return np.sort(first)
+
+
+def grouped_sums(ids: np.ndarray, card: int,
+                 values: np.ndarray) -> np.ndarray:
+    """Exact int64 per-group sums (``np.add.at`` scatter, not float
+    bincount, so large counts stay exact up to int64 range)."""
+    sums = np.zeros(card, dtype=np.int64)
+    np.add.at(sums, ids, values)
+    return sums
+
+
+# ----------------------------------------------------------------- relation
+
+
+class ColumnarRelation:
+    """A distinct set of rows over named variables, stored by column.
+
+    Duck-compatible with :class:`repro.eval.join.VarRelation`; rows are
+    kept distinct as an invariant (the constructor and every operation
+    deduplicate where needed) and first-insertion order is preserved.
+    """
+
+    __slots__ = ("variables", "_positions", "_columns", "_nrows",
+                 "_pending", "_indexes", "_dict", "_decoded")
+
+    def __init__(self, variables: Sequence[Variable],
+                 tuples: Optional[Iterable[Tup]] = None,
+                 dictionary: Optional[ValueDictionary] = None):
+        self.variables: Tuple[Variable, ...] = tuple(variables)
+        self._positions: Dict[Variable, int] = {
+            v: i for i, v in enumerate(self.variables)}
+        if len(self._positions) != len(self.variables):
+            raise ValueError("duplicate variables in ColumnarRelation schema")
+        self._dict = dictionary or default_dictionary()
+        self._columns: List[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in self.variables]
+        self._nrows = 0
+        self._pending: List[Tup] = []
+        self._indexes: Dict[Tuple[Variable, ...], Dict[Tup, List[Tup]]] = {}
+        self._decoded: Optional[List[Tup]] = None
+        if tuples is not None:
+            for t in tuples:
+                self.add(t)
+            self._flush()
+
+    # -------------------------------------------------------------- plumbing
+
+    @classmethod
+    def from_codes(cls, variables: Sequence[Variable],
+                   columns: Sequence[np.ndarray], nrows: int,
+                   dictionary: ValueDictionary,
+                   dedupe: bool = False) -> "ColumnarRelation":
+        """Wrap already-encoded columns (no copy unless deduping)."""
+        rel = cls(variables, dictionary=dictionary)
+        cols = [np.ascontiguousarray(c, dtype=np.int64) for c in columns]
+        if dedupe:
+            cols, nrows = _dedupe_columns(cols, nrows)
+        rel._columns = cols
+        rel._nrows = int(nrows)
+        return rel
+
+    def _flush(self) -> None:
+        """Fold pending Python rows into the column arrays."""
+        if not self._pending:
+            return
+        rows = self._pending
+        self._pending = []
+        new_cols = _encode_rows(rows, len(self.variables), self._dict)
+        if self._nrows:
+            cols = [np.concatenate([old, new])
+                    for old, new in zip(self._columns, new_cols)]
+        else:
+            cols = new_cols
+        self._columns, self._nrows = _dedupe_columns(
+            cols, self._nrows + len(rows))
+        self._indexes = {}
+        self._decoded = None
+
+    def _invalidate(self) -> None:
+        self._indexes = {}
+        self._decoded = None
+
+    def column(self, v: Variable) -> np.ndarray:
+        """The code column of variable ``v``."""
+        self._flush()
+        return self._columns[self._positions[v]]
+
+    def code_columns(self) -> List[np.ndarray]:
+        self._flush()
+        return list(self._columns)
+
+    @property
+    def dictionary(self) -> ValueDictionary:
+        return self._dict
+
+    def _coerce(self, other: Any) -> "ColumnarRelation":
+        """View ``other`` (columnar or tuple-backed) through this
+        relation's dictionary."""
+        if isinstance(other, ColumnarRelation):
+            if other._dict is self._dict:
+                other._flush()
+                return other
+            return ColumnarRelation(other.variables, iter(other),
+                                    dictionary=self._dict)
+        return ColumnarRelation(other.variables, iter(other),
+                                dictionary=self._dict)
+
+    # ----------------------------------------------------------------- basics
+
+    def add(self, tup: Tup) -> None:
+        t = tuple(tup)
+        if len(t) != len(self.variables):
+            raise ValueError(
+                f"tuple length {len(t)} does not match schema {self.variables}"
+            )
+        self._pending.append(t)
+
+    def __len__(self) -> int:
+        self._flush()
+        return self._nrows
+
+    def __iter__(self) -> Iterator[Tup]:
+        return iter(self.tuples())
+
+    def __contains__(self, tup: Tup) -> bool:
+        self._flush()
+        t = tuple(tup)
+        if len(t) != len(self.variables):
+            return False
+        if not self.variables:
+            return self._nrows > 0
+        mask = np.ones(self._nrows, dtype=bool)
+        for value, col in zip(t, self._columns):
+            code = self._dict.code_of(value)
+            if code is None:
+                return False
+            mask &= col == code
+        return bool(mask.any())
+
+    def __repr__(self) -> str:
+        names = ",".join(v.name for v in self.variables)
+        return f"ColumnarRelation([{names}], size={len(self)})"
+
+    def position(self, v: Variable) -> int:
+        return self._positions[v]
+
+    def has_variable(self, v: Variable) -> bool:
+        return v in self._positions
+
+    def assignment(self, tup: Tup) -> Dict[Variable, Any]:
+        return {v: tup[i] for i, v in enumerate(self.variables)}
+
+    def tuples(self) -> List[Tup]:
+        """Decode the rows into Python tuples (cached)."""
+        self._flush()
+        if self._decoded is None:
+            if not self.variables:
+                self._decoded = [()] * self._nrows
+            else:
+                decoded = [self._dict.decode_column(c) for c in self._columns]
+                self._decoded = list(zip(*decoded)) if self._nrows else []
+        return list(self._decoded)
+
+    def copy(self) -> "ColumnarRelation":
+        self._flush()
+        return ColumnarRelation.from_codes(
+            self.variables, self._columns, self._nrows, self._dict)
+
+    def to_varrelation(self):
+        """Materialise as a tuple-backed VarRelation."""
+        from repro.eval.join import VarRelation
+
+        return VarRelation(self.variables, self.tuples())
+
+    # --------------------------------------------------------------- indexing
+
+    def index_on(self, variables: Sequence[Variable]) -> Dict[Tup, List[Tup]]:
+        """Tuple-compatible hash index (decoded); the bridge that lets
+        per-tuple enumerators run unchanged on columnar data."""
+        vars_key = tuple(variables)
+        if vars_key not in self._indexes:
+            positions = [self._positions[v] for v in vars_key]
+            index: Dict[Tup, List[Tup]] = {}
+            for t in self.tuples():
+                index.setdefault(tuple(t[p] for p in positions), []).append(t)
+            self._indexes[vars_key] = index
+        return self._indexes[vars_key]
+
+    def probe(self, variables: Sequence[Variable],
+              key: Sequence[Any]) -> List[Tup]:
+        return self.index_on(tuple(variables)).get(tuple(key), [])
+
+    def probe_assignment(self, assignment: Dict[Variable, Any]) -> List[Tup]:
+        bound = tuple(v for v in self.variables if v in assignment)
+        key = tuple(assignment[v] for v in bound)
+        return self.probe(bound, key)
+
+    # -------------------------------------------------------------- operators
+
+    def project(self, variables: Sequence[Variable]) -> "ColumnarRelation":
+        self._flush()
+        vars_out = tuple(variables)
+        cols = [self._columns[self._positions[v]] for v in vars_out]
+        dedupe = set(vars_out) != set(self.variables)
+        return ColumnarRelation.from_codes(
+            vars_out, cols, self._nrows, self._dict, dedupe=dedupe)
+
+    def select_mask(self, mask: np.ndarray) -> "ColumnarRelation":
+        """Rows where ``mask`` is True (length must equal len(self))."""
+        self._flush()
+        cols = [c[mask] for c in self._columns]
+        nrows = len(cols[0]) if cols else int(np.count_nonzero(mask))
+        return ColumnarRelation.from_codes(
+            self.variables, cols, nrows, self._dict)
+
+    def semijoin(self, other: Any) -> "ColumnarRelation":
+        """Rows of self matching some row of other on the shared
+        variables; same degenerate-case semantics as VarRelation."""
+        self._flush()
+        other = self._coerce(other)
+        shared = [v for v in self.variables if other.has_variable(v)]
+        if not shared:
+            if len(other):
+                return self.copy()
+            return ColumnarRelation(self.variables, dictionary=self._dict)
+        n, m = self._nrows, other._nrows
+        self_keys = [self._columns[self._positions[v]] for v in shared]
+        other_keys = [other._columns[other._positions[v]] for v in shared]
+        joint = [np.concatenate([a, b])
+                 for a, b in zip(self_keys, other_keys)]
+        ids, card = group_ids(joint, n + m)
+        present = np.zeros(card, dtype=bool)
+        present[ids[n:]] = True
+        keep = present[ids[:n]]
+        return self.select_mask(keep)
+
+    def join(self, other: Any) -> "ColumnarRelation":
+        """Natural join via sort-merge on joint group ids."""
+        self._flush()
+        other = self._coerce(other)
+        shared = [v for v in self.variables if other.has_variable(v)]
+        extra = [v for v in other.variables if v not in self._positions]
+        out_vars = self.variables + tuple(extra)
+        n, m = self._nrows, other._nrows
+        self_keys = [self._columns[self._positions[v]] for v in shared]
+        other_keys = [other._columns[other._positions[v]] for v in shared]
+        joint = [np.concatenate([a, b])
+                 for a, b in zip(self_keys, other_keys)]
+        ids, _card = group_ids(joint, n + m)
+        self_ids, other_ids = ids[:n], ids[n:]
+        order = np.argsort(other_ids, kind="stable")
+        sorted_ids = other_ids[order]
+        lo = np.searchsorted(sorted_ids, self_ids, side="left")
+        hi = np.searchsorted(sorted_ids, self_ids, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        self_idx = np.repeat(np.arange(n, dtype=np.int64), counts)
+        run_starts = np.cumsum(counts) - counts  # exclusive prefix sum
+        within = np.arange(total, dtype=np.int64) - np.repeat(run_starts,
+                                                              counts)
+        other_idx = order[np.repeat(lo, counts) + within]
+        cols = [c[self_idx] for c in self._columns]
+        cols += [other._columns[other._positions[v]][other_idx]
+                 for v in extra]
+        # distinct inputs joined on equal keys stay distinct: no dedupe
+        return ColumnarRelation.from_codes(
+            out_vars, cols, total, self._dict)
+
+    def rename(self, mapping: Dict[Variable, Variable]) -> "ColumnarRelation":
+        """Rename columns along ``mapping``; rows whose merged columns
+        conflict are dropped (VarRelation semantics)."""
+        self._flush()
+        new_vars: List[Variable] = []
+        source_pos: Dict[Variable, int] = {}
+        mask = np.ones(self._nrows, dtype=bool)
+        for i, v in enumerate(self.variables):
+            nv = mapping.get(v, v)
+            if nv in source_pos:
+                mask &= self._columns[i] == self._columns[source_pos[nv]]
+            else:
+                source_pos[nv] = i
+                new_vars.append(nv)
+        cols = [self._columns[source_pos[nv]][mask] for nv in new_vars]
+        nrows = int(mask.sum())
+        return ColumnarRelation.from_codes(
+            tuple(new_vars), cols, nrows, self._dict, dedupe=True)
+
+
+def _dedupe_columns(columns: List[np.ndarray], nrows: int
+                    ) -> Tuple[List[np.ndarray], int]:
+    """Drop duplicate rows, keeping first occurrences in order."""
+    if not columns:
+        return columns, min(nrows, 1)
+    if nrows <= 1:
+        return columns, nrows
+    ids, _card = group_ids(columns, nrows)
+    first = first_occurrences(ids)
+    if len(first) == nrows:
+        return columns, nrows
+    return [c[first] for c in columns], len(first)
+
+
+def _encode_rows(rows: List[Tup], width: int,
+                 dictionary: ValueDictionary) -> List[np.ndarray]:
+    """Encode a list of equal-length Python tuples column-wise.
+
+    Integer-only data takes the vectorized path through a single 2-d
+    array; anything else (mixed types, strings) is encoded value by
+    value to avoid numpy's dtype coercion changing equality semantics.
+    """
+    if width == 0:
+        return []
+    arr = None
+    try:
+        candidate = np.asarray(rows)
+        if candidate.ndim == 2 and candidate.dtype.kind in _INT_KINDS:
+            arr = candidate
+    except (ValueError, TypeError):  # ragged or unorderable rows
+        arr = None
+    if arr is not None:
+        return [dictionary.encode_column(arr[:, j]) for j in range(width)]
+    return [dictionary.encode_values([t[j] for t in rows])
+            for j in range(width)]
+
+
+# ------------------------------------------------------- atom materialisation
+
+
+def encoded_relation_columns(rel, dictionary: ValueDictionary
+                             ) -> Tuple[List[np.ndarray], int]:
+    """Dictionary-encoded columns of a stored :class:`Relation`.
+
+    Cached on the relation itself (invalidated by ``add``/``discard``),
+    so repeated materialisations of the same base data cost one gather.
+    """
+    cache = getattr(rel, "_colcache", None)
+    if cache is not None and cache[0] is dictionary:
+        return cache[1], cache[2]
+    rows = rel.tuples()
+    cols = _encode_rows(rows, rel.arity, dictionary)
+    try:
+        rel._colcache = (dictionary, cols, len(rows))
+    except AttributeError:  # foreign relation type without the slot
+        pass
+    return cols, len(rows)
+
+
+def materialise_atom_columnar(db, atom,
+                              dictionary: Optional[ValueDictionary] = None
+                              ) -> ColumnarRelation:
+    """Vectorized counterpart of :func:`repro.eval.join.atom_to_varrelation`:
+    constants and repeated variables become boolean column masks."""
+    dictionary = dictionary or default_dictionary()
+    rel = db.relation(atom.relation)
+    if rel.arity != atom.arity:
+        raise SchemaMismatchError(
+            f"atom {atom!r} has arity {atom.arity} but relation "
+            f"{atom.relation!r} has arity {rel.arity}"
+        )
+    variables = atom.variables()
+    cols, nrows = encoded_relation_columns(rel, dictionary)
+    mask: Optional[np.ndarray] = None
+    first_pos: Dict[Variable, int] = {}
+    for pos, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            code = dictionary.code_of(term.value)
+            if code is None:
+                cond = np.zeros(nrows, dtype=bool)
+            else:
+                cond = cols[pos] == code
+        elif term in first_pos:
+            cond = cols[pos] == cols[first_pos[term]]
+        else:
+            first_pos[term] = pos
+            continue
+        mask = cond if mask is None else mask & cond
+    out_cols = [cols[first_pos[v]] for v in variables]
+    if mask is not None:
+        out_cols = [c[mask] for c in out_cols]
+        nrows = int(mask.sum())
+    # base rows are distinct, so the selected/projected rows are too
+    return ColumnarRelation.from_codes(variables, out_cols, nrows, dictionary)
+
+
+# --------------------------------------------------------- counting kernel
+
+
+def count_acyclic_join_columnar(relations: Sequence[ColumnarRelation],
+                                tree, charged: Dict[int, Tuple[Variable, ...]],
+                                share_vars: Dict[int, Tuple[Variable, ...]]
+                                ) -> int:
+    """Vectorized bottom-up counting messages (unweighted Theorem 4.21).
+
+    Mirrors the tuple-backed message passing of
+    :func:`repro.counting.acq_count.count_full_acyclic_join`: a message is
+    ``(key columns, per-key int64 sums)``; child factors are fetched with
+    a dense scatter/gather instead of per-tuple dict probes.  Counts are
+    exact up to the int64 range.
+    """
+    messages: Dict[int, Tuple[List[np.ndarray], np.ndarray]] = {}
+    for node in tree.bottom_up():
+        rel = relations[node]
+        rel._flush()
+        n = len(rel)
+        values = np.ones(n, dtype=np.int64)
+        for child in tree.children[node]:
+            mkeys, mvals = messages[child]
+            probe_cols = [rel.column(v) for v in share_vars[child]]
+            g = len(mvals)
+            joint = [np.concatenate([mk, pc])
+                     for mk, pc in zip(mkeys, probe_cols)]
+            ids, card = group_ids(joint, g + n)
+            factor = np.zeros(card, dtype=np.int64)
+            factor[ids[:g]] = mvals
+            values = values * factor[ids[g:]]
+        shared_cols = [rel.column(v) for v in share_vars[node]]
+        ids, card = group_ids(shared_cols, n)
+        sums = grouped_sums(ids, card, values)
+        uniq, first = np.unique(ids, return_index=True)
+        messages[node] = ([c[first] for c in shared_cols], sums[uniq])
+    _keys, root_sums = messages[tree.root]
+    return int(root_sums[0]) if len(root_sums) else 0

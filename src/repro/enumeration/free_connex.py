@@ -38,12 +38,18 @@ from repro.logic.cq import ConjunctiveQuery
 from repro.logic.terms import Variable
 
 
-def derive_free_join(cq: ConjunctiveQuery, db: Database) -> List[VarRelation]:
+def derive_free_join(cq: ConjunctiveQuery, db: Database,
+                     engine=None) -> List[VarRelation]:
     """The derived quantifier-free join: relations over free variables whose
     natural join equals phi(D).  Raises NotFreeConnexError if the query's
-    star size exceeds 1."""
+    star size exceeds 1.
+
+    The preprocessing bulk work (materialisation, full reduction,
+    projections) runs on the selected backend; the returned relations
+    keep that representation (both satisfy the enumerator's probe
+    interface)."""
     free = cq.free_variables()
-    _tree, reduced = full_reducer(cq, db)
+    _tree, reduced = full_reducer(cq, db, engine=engine)
     h = cq.hypergraph()
 
     derived: List[VarRelation] = []
@@ -83,7 +89,7 @@ class FreeConnexEnumerator(Enumerator):
     """Linear-preprocessing, constant-delay enumeration of a free-connex
     acyclic conjunctive query (without comparisons)."""
 
-    def __init__(self, cq: ConjunctiveQuery, db: Database):
+    def __init__(self, cq: ConjunctiveQuery, db: Database, engine=None):
         super().__init__()
         if cq.has_comparisons():
             raise UnsupportedQueryError(
@@ -93,12 +99,13 @@ class FreeConnexEnumerator(Enumerator):
             raise NotFreeConnexError(f"query {cq!r} is not acyclic")
         self.cq = cq
         self.db = db
+        self.engine = engine
         self._inner: Optional[FullJoinEnumerator] = None
         self._boolean_true = False
 
     def _preprocess(self) -> None:
         cq, db = self.cq, self.db
-        derived = derive_free_join(cq, db)
+        derived = derive_free_join(cq, db, engine=self.engine)
         if cq.is_boolean():
             # satisfiable iff no derived relation is empty (full reduction
             # has already propagated emptiness everywhere)

@@ -169,8 +169,14 @@ def atom_to_varrelation(db: Database, atom: Atom) -> VarRelation:
 
     Handles constants and repeated variables: only matching tuples
     contribute, and the result's schema is the atom's distinct variables in
-    first-occurrence order.  Linear in the atom's relation.
+    first-occurrence order.  Constant positions are answered with one
+    :meth:`Relation.index_on` probe (O(1) amortised — a fully-bound atom
+    never scans the relation), and repeated-variable constraints without
+    constants enumerate only the diagonal buckets of an index over the
+    repeated positions.
     """
+    from repro.logic.terms import Constant
+
     rel = db.relation(atom.relation)
     if rel.arity != atom.arity:
         raise SchemaMismatchError(
@@ -178,11 +184,45 @@ def atom_to_varrelation(db: Database, atom: Atom) -> VarRelation:
             f"{atom.relation!r} has arity {rel.arity}"
         )
     variables = atom.variables()
+    first_pos: Dict[Variable, int] = {}
+    const_positions: List[int] = []
+    const_key: List[Any] = []
+    dup_groups: Dict[int, List[int]] = {}
+    for pos, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            const_positions.append(pos)
+            const_key.append(term.value)
+        elif term in first_pos:
+            dup_groups.setdefault(first_pos[term], []).append(pos)
+        else:
+            first_pos[term] = pos
+    out_positions = [first_pos[v] for v in variables]
+
+    if const_positions:
+        candidates: Iterable[Tup] = rel.probe(const_positions, const_key)
+    elif dup_groups:
+        # no constants to probe: use an index over one repeated group and
+        # keep only its diagonal buckets (key values all equal)
+        base, extras = next(iter(dup_groups.items()))
+        index = rel.index_on((base, *extras))
+        candidates = [
+            t
+            for key, bucket in index.items()
+            if all(k == key[0] for k in key)
+            for t in bucket
+        ]
+    else:
+        candidates = rel
+
     out = VarRelation(variables)
-    for t in rel:
-        if atom.matches(t):
-            binding = atom.bind(t)
-            out.add(tuple(binding[v] for v in variables))
+    if dup_groups:
+        checks = list(dup_groups.items())
+        for t in candidates:
+            if all(t[p] == t[b] for b, ps in checks for p in ps):
+                out.add(tuple(t[p] for p in out_positions))
+    else:
+        for t in candidates:
+            out.add(tuple(t[p] for p in out_positions))
     return out
 
 

@@ -13,28 +13,46 @@ Three entry points:
   a bottom-up join keeps, at each node, only the columns that are free or
   still needed higher up, so intermediate results stay within
   O(||D|| * ||phi(D)||), giving total time O(||phi|| * ||D|| * ||phi(D)||).
+
+All entry points accept an ``engine`` (a backend name, an
+:class:`~repro.engine.Engine`, or None for the process-wide selection —
+see :mod:`repro.engine`) and an optional prebuilt ``tree``; with no tree
+given, one is built once per hypergraph and memoised
+(:func:`repro.hypergraph.jointree.cached_join_tree`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.data.database import Database
 from repro.errors import NotAcyclicError
 from repro.eval.join import VarRelation, atom_to_varrelation
-from repro.hypergraph.jointree import JoinTree, build_join_tree
+from repro.hypergraph.jointree import JoinTree, build_join_tree, cached_join_tree
 from repro.logic.cq import ConjunctiveQuery
 from repro.logic.terms import Variable
 
+EngineLike = Union[str, None, "object"]
 
-def materialise_atoms(cq: ConjunctiveQuery, db: Database) -> List[VarRelation]:
-    """One VarRelation per atom (constants/repeated variables resolved)."""
-    return [atom_to_varrelation(db, atom) for atom in cq.atoms]
+
+def _engine(engine: EngineLike):
+    from repro.engine import resolve_engine
+
+    return resolve_engine(engine)
+
+
+def materialise_atoms(cq: ConjunctiveQuery, db: Database,
+                      engine: EngineLike = None) -> List[VarRelation]:
+    """One relation per atom (constants/repeated variables resolved),
+    in the selected backend's representation."""
+    eng = _engine(engine)
+    return [eng.materialise_atom(db, atom) for atom in cq.atoms]
 
 
 def full_reducer(cq: ConjunctiveQuery, db: Database,
                  tree: Optional[JoinTree] = None,
-                 relations: Optional[List[VarRelation]] = None
+                 relations: Optional[List[VarRelation]] = None,
+                 engine: EngineLike = None
                  ) -> Tuple[JoinTree, List[VarRelation]]:
     """Run the full semijoin reduction.
 
@@ -42,9 +60,9 @@ def full_reducer(cq: ConjunctiveQuery, db: Database,
     like ``cq.atoms``).  Raises :class:`NotAcyclicError` on cyclic queries.
     """
     if tree is None:
-        tree = build_join_tree(cq.hypergraph())
+        tree = cached_join_tree(cq.hypergraph())
     if relations is None:
-        relations = materialise_atoms(cq, db)
+        relations = materialise_atoms(cq, db, engine)
     relations = list(relations)
     # bottom-up: parent := parent semijoin child
     for node in tree.bottom_up():
@@ -58,10 +76,13 @@ def full_reducer(cq: ConjunctiveQuery, db: Database,
     return tree, relations
 
 
-def yannakakis_boolean(cq: ConjunctiveQuery, db: Database) -> bool:
+def yannakakis_boolean(cq: ConjunctiveQuery, db: Database,
+                       tree: Optional[JoinTree] = None,
+                       engine: EngineLike = None) -> bool:
     """Satisfiability of an acyclic (Boolean or not) body in O(||phi||*||D||)."""
-    tree = build_join_tree(cq.hypergraph())
-    relations = materialise_atoms(cq, db)
+    if tree is None:
+        tree = cached_join_tree(cq.hypergraph())
+    relations = materialise_atoms(cq, db, engine)
     if any(len(r) == 0 for r in relations):
         return False
     for node in tree.bottom_up():
@@ -73,14 +94,16 @@ def yannakakis_boolean(cq: ConjunctiveQuery, db: Database) -> bool:
     return all(len(relations[n]) > 0 for n in tree.nodes())
 
 
-def yannakakis(cq: ConjunctiveQuery, db: Database) -> VarRelation:
+def yannakakis(cq: ConjunctiveQuery, db: Database,
+               tree: Optional[JoinTree] = None,
+               engine: EngineLike = None) -> VarRelation:
     """Compute phi(D) for an acyclic CQ, output-sensitively (Theorem 4.2).
 
     After full reduction, join bottom-up; at each node project onto the
     variables that are free or shared with the not-yet-joined part, which
     bounds intermediates by ||D|| * ||phi(D)||.
     """
-    tree, relations = full_reducer(cq, db)
+    tree, relations = full_reducer(cq, db, tree=tree, engine=engine)
     free = cq.free_variables()
 
     # variables occurring above each node (in its strict ancestors' atoms)
@@ -105,17 +128,15 @@ def yannakakis(cq: ConjunctiveQuery, db: Database) -> VarRelation:
         joined[node] = acc.project(keep)
 
     result = joined[tree.root]
-    # normalise column order to the head
+    # normalise column order to the head with one projection (head
+    # variables are exactly the free variables, all retained above)
     head = tuple(cq.head)
     if result.variables == head:
         return result
-    positions = [result.position(v) for v in head]
-    out = VarRelation(head)
-    for t in result:
-        out.add(tuple(t[p] for p in positions))
-    return out
+    return result.project(head)
 
 
-def acyclic_answers(cq: ConjunctiveQuery, db: Database) -> Set[Tuple]:
+def acyclic_answers(cq: ConjunctiveQuery, db: Database,
+                    engine: EngineLike = None) -> Set[Tuple]:
     """phi(D) as a set of head tuples (convenience wrapper)."""
-    return set(yannakakis(cq, db))
+    return set(yannakakis(cq, db, engine=engine))

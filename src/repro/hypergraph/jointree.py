@@ -213,6 +213,29 @@ def build_join_tree(h: Hypergraph) -> JoinTree:
     return tree
 
 
+_TREE_CACHE: Dict[Tuple[FrozenSet[V], Tuple[FrozenSet[V], ...]], JoinTree] = {}
+_TREE_CACHE_LIMIT = 256
+
+
+def cached_join_tree(h: Hypergraph) -> JoinTree:
+    """Build (or reuse) a join tree, memoised on the hypergraph.
+
+    Keyed on ``(vertices, ordered edges)`` — two structurally identical
+    hypergraphs (e.g. the same query evaluated against many databases)
+    share one tree, so repeated ``yannakakis()`` calls skip the GYO
+    reduction entirely.  A :class:`JoinTree` is never mutated by its
+    consumers, so sharing is safe.
+    """
+    key = (h.vertices, h.edges)
+    tree = _TREE_CACHE.get(key)
+    if tree is None:
+        tree = build_join_tree(h)
+        if len(_TREE_CACHE) >= _TREE_CACHE_LIMIT:
+            _TREE_CACHE.clear()
+        _TREE_CACHE[key] = tree
+    return tree
+
+
 def join_tree_of_query(cq) -> JoinTree:
     """Join tree of a conjunctive query's hypergraph; node i = atom i."""
-    return build_join_tree(cq.hypergraph())
+    return cached_join_tree(cq.hypergraph())
