@@ -81,6 +81,25 @@ def _select_engine(args: argparse.Namespace) -> None:
         from repro.engine import set_engine
 
         set_engine(name)
+    plan_cache = getattr(args, "plan_cache", None)
+    if plan_cache is not None:
+        from repro.core.plancache import set_plan_cache_enabled
+
+        set_plan_cache_enabled(plan_cache == "on")
+
+
+def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
+    """The shared enumeration-pipeline knobs (--engine and friends)."""
+    p.add_argument("--engine", default=None,
+                   help="relational backend: tuple (default) or columnar "
+                        "(also via the REPRO_ENGINE environment variable)")
+    p.add_argument("--block-size", type=int, default=None,
+                   help="answers per batched emission block on the columnar "
+                        "backend (default 1024, env REPRO_BLOCK_SIZE; <= 0 "
+                        "forces tuple-at-a-time enumeration)")
+    p.add_argument("--plan-cache", choices=("on", "off"), default=None,
+                   help="toggle the cross-query plan/preprocessing cache "
+                        "(default on, env REPRO_PLAN_CACHE)")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -95,7 +114,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(count(query, db))
         return 0
     emitted = 0
-    for row in enumerate_answers(query, db):
+    for row in enumerate_answers(query, db, block_size=args.block_size):
         print("\t".join(str(v) for v in row))
         emitted += 1
         if args.limit is not None and emitted >= args.limit:
@@ -236,8 +255,9 @@ def cmd_bench_delay(args: argparse.Namespace) -> int:
     for n in args.sizes:
         db = generators.random_database({"R": 2, "S": 2}, max(4, n // 4), n,
                                         seed=7)
-        p_fc = measure_enumerator(FreeConnexEnumerator(fc, db),
-                                  max_outputs=500)
+        p_fc = measure_enumerator(
+            FreeConnexEnumerator(fc, db, block_size=args.block_size),
+            max_outputs=500)
         p_lin = measure_enumerator(LinearDelayACQEnumerator(lin, db),
                                    max_outputs=500)
         print(f"{n:>8} {p_fc.median_delay * 1e6:>13.2f} "
@@ -265,9 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--count", action="store_true", help="print |Q(D)| only")
     p.add_argument("--limit", type=int, default=None,
                    help="stop after N answers")
-    p.add_argument("--engine", default=None,
-                   help="relational backend: tuple (default) or columnar "
-                        "(also via the REPRO_ENGINE environment variable)")
+    _add_pipeline_flags(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("doctor", help="minimise + classify + suggest fixes")
@@ -280,8 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench-delay", help="quick delay experiment")
     p.add_argument("--sizes", type=int, nargs="+",
                    default=[1000, 4000, 16000])
-    p.add_argument("--engine", default=None,
-                   help="relational backend for the preprocessing phase")
+    _add_pipeline_flags(p)
     p.set_defaults(fn=cmd_bench_delay)
 
     p = sub.add_parser("bench-core",

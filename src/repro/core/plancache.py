@@ -1,0 +1,161 @@
+"""Cross-query plan/preprocessing cache.
+
+Constant-delay enumeration splits work into a *preprocessing* phase
+(join-tree construction, atom materialisation + dictionary encoding,
+full-reducer semijoins, free-connex projections) and an *enumeration*
+phase whose delay the paper bounds.  Under repeated-query workloads —
+Carmeli–Segoufin's motivation of answering the same query against a
+slowly changing database, the ROADMAP's "heavy traffic" scenario — the
+preprocessing phase is pure recomputation.  This module caches it.
+
+:class:`PlanCache` is a small LRU keyed on
+
+    (kind, query, engine name, extra, database fingerprint)
+
+where the fingerprint (:meth:`repro.data.database.Database.fingerprint`)
+combines each stored relation's identity (``id``), its mutation
+``version`` counter, and its cardinality, plus the domain size — so any
+``add``/``discard`` on any relation invalidates every plan derived from
+that database.  Because ``id()`` values are only unique among *live*
+objects, every cache entry keeps strong references to the database and
+its relations; an entry therefore can never refer to a dead (and
+potentially recycled) id, at the price of keeping cached databases alive
+until eviction.  ``maxsize`` bounds that retention.
+
+Cached values are returned as-is: callers that hand mutable relations to
+consumers must copy them first (see ``full_reducer``).  Enumerator-level
+entries (prepared :class:`~repro.engine.enumerate.BlockIterator`
+pipelines) are immutable after preprocessing and safely shared.
+
+The cache is enabled by default; disable with ``REPRO_PLAN_CACHE=0``,
+:func:`set_plan_cache_enabled`, or per-scope with :func:`plan_cache_disabled`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Callable, Hashable, Iterator, Optional, Tuple
+
+ENV_VAR = "REPRO_PLAN_CACHE"
+DEFAULT_MAXSIZE = 256
+
+_MISS = object()
+
+
+class PlanCache:
+    """An LRU mapping plan keys to preprocessing artefacts.
+
+    Entries pin the database objects they were computed from (strong
+    references stored next to the value), which makes the ``id``-based
+    fingerprint sound: an id can only be reused after the object dies,
+    and pinned objects stay alive for the entry's lifetime.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[Hashable, Tuple[Any, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ state
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries), "maxsize": self.maxsize}
+
+    # ----------------------------------------------------------------- lookup
+
+    @staticmethod
+    def key_for(kind: str, query: Hashable, db, engine_name: str,
+                extra: Hashable = ()) -> Hashable:
+        """The cache key: query canonical form + database fingerprint."""
+        return (kind, query, engine_name, extra,
+                db.fingerprint() if db is not None else None)
+
+    def get(self, key: Hashable) -> Any:
+        """The cached value for ``key``, or the module-private miss
+        sentinel (so ``None`` is a cacheable value)."""
+        entry = self._entries.get(key, _MISS)
+        if entry is _MISS:
+            self.misses += 1
+            return _MISS
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def put(self, key: Hashable, value: Any, pins: Any = None) -> Any:
+        """Insert ``value``, pinning ``pins`` (typically the database)
+        for the entry's lifetime; evicts the LRU entry beyond maxsize."""
+        self._entries[key] = (value, pins)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return value
+
+
+_GLOBAL = PlanCache()
+_ENABLED: Optional[bool] = None  # None -> consult the environment
+
+
+def plan_cache() -> PlanCache:
+    """The process-wide cache instance."""
+    return _GLOBAL
+
+
+def plan_cache_enabled() -> bool:
+    if _ENABLED is not None:
+        return _ENABLED
+    env = os.environ.get(ENV_VAR, "").strip().lower()
+    return env not in ("0", "false", "off", "no")
+
+
+def set_plan_cache_enabled(enabled: Optional[bool]) -> None:
+    """Force the cache on/off process-wide (None resets to the
+    ``REPRO_PLAN_CACHE`` environment default)."""
+    global _ENABLED
+    _ENABLED = enabled
+
+
+@contextmanager
+def plan_cache_disabled() -> Iterator[None]:
+    """Temporarily bypass the cache (cold-path measurements, tests)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+def clear_plan_cache() -> None:
+    _GLOBAL.clear()
+
+
+def cached_plan(kind: str, query: Hashable, db, engine_name: str,
+                builder: Callable[[], Any], extra: Hashable = ()) -> Any:
+    """Fetch-or-build helper used by the preprocessing entry points.
+
+    ``builder`` runs (and its result is cached, with ``db`` pinned) only
+    on a miss or when caching is disabled.  ``extra`` distinguishes
+    same-query plans with different knobs (e.g. block size).
+    """
+    if not plan_cache_enabled():
+        return builder()
+    cache = _GLOBAL
+    key = PlanCache.key_for(kind, query, db, engine_name, extra)
+    value = cache.get(key)
+    if value is not _MISS:
+        return value
+    value = builder()
+    return cache.put(key, value, pins=db)

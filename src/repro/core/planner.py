@@ -33,8 +33,14 @@ def decide(query: QueryLike, db: Database) -> bool:
     return model_check(query, db)
 
 
-def enumerate_answers(query: QueryLike, db: Database) -> Iterator[Tuple[Any, ...]]:
-    """Enumerate the answers with the best applicable delay guarantee."""
+def enumerate_answers(query: QueryLike, db: Database, engine=None,
+                      block_size=None) -> Iterator[Tuple[Any, ...]]:
+    """Enumerate the answers with the best applicable delay guarantee.
+
+    ``engine`` selects the relational backend (see :mod:`repro.engine`)
+    and ``block_size`` the batched pipeline's amortisation block for the
+    engines that support it; both default to the process-wide selection.
+    """
     if isinstance(query, ConjunctiveQuery):
         if query.order_comparisons():
             from repro.enumeration.disequality import FallbackDisequalityEnumerator
@@ -56,11 +62,12 @@ def enumerate_answers(query: QueryLike, db: Database) -> Iterator[Tuple[Any, ...
             if query.is_free_connex():
                 from repro.enumeration.free_connex import FreeConnexEnumerator
 
-                yield from FreeConnexEnumerator(query, db)
+                yield from FreeConnexEnumerator(query, db, engine=engine,
+                                                block_size=block_size)
             else:
                 from repro.enumeration.acq_linear import LinearDelayACQEnumerator
 
-                yield from LinearDelayACQEnumerator(query, db)
+                yield from LinearDelayACQEnumerator(query, db, engine=engine)
             return
         from repro.eval.naive import evaluate_cq_naive
 
@@ -69,7 +76,8 @@ def enumerate_answers(query: QueryLike, db: Database) -> Iterator[Tuple[Any, ...
     if isinstance(query, UnionOfConjunctiveQueries):
         from repro.enumeration.ucq_union import enumerate_ucq
 
-        yield from enumerate_ucq(query, db)
+        yield from enumerate_ucq(query, db, engine=engine,
+                                 block_size=block_size)
         return
     if isinstance(query, NegativeConjunctiveQuery):
         from repro.csp.ncq_solver import ncq_answers

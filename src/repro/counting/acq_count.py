@@ -96,12 +96,26 @@ def count_full_acyclic_join(relations: Sequence[VarRelation],
 
     unweighted = weights is None or (
         isinstance(weights, WeightFunction) and weights.is_ones())
-    if unweighted and all(
-            isinstance(r, ColumnarRelation)
-            and r.dictionary is relations[0].dictionary
-            for r in relations):
-        return count_acyclic_join_columnar(relations, tree, charged,
-                                           share_vars)
+    if all(isinstance(r, ColumnarRelation)
+           and r.dictionary is relations[0].dictionary
+           for r in relations):
+        if unweighted:
+            return count_acyclic_join_columnar(relations, tree, charged,
+                                               share_vars)
+        if isinstance(weights, WeightFunction):
+            # weighted vectorized path: per-code weight gather; falls back
+            # to the exact per-tuple DP when the weights aren't machine
+            # floats (see WeightFunction.code_table)
+            import numpy as np
+
+            table = weights.code_table(relations[0].dictionary)
+            if table is not None:
+                total = count_acyclic_join_columnar(
+                    relations, tree, charged, share_vars, weight_table=table)
+                integral_weights = bool(np.all(table == np.floor(table)))
+                if integral_weights and float(total).is_integer():
+                    return int(total)
+                return total
 
     # messages[child]: key over shared-with-parent vars -> sum of weights
     messages: Dict[int, Dict[Tuple[Any, ...], Any]] = {}
@@ -162,7 +176,23 @@ def derive_counting_join(cq: ConjunctiveQuery, db: Database, engine=None
     quantified star size: per component, candidates come from joining the
     s covering atoms' (reduced) relations and each candidate is verified
     by one Boolean satisfiability check of the component.
+
+    The decomposition (the expensive, per-database part) is served from
+    the plan cache on repeats; returned relations are shallow copies.
     """
+    from repro.core.plancache import cached_plan
+    from repro.engine import resolve_engine
+
+    eng = resolve_engine(engine)
+    derived = cached_plan("counting_join", cq, db, eng.name,
+                          lambda: _derive_counting_join(cq, db, eng))
+    if derived is None:
+        return None
+    return [r.copy() for r in derived]
+
+
+def _derive_counting_join(cq: ConjunctiveQuery, db: Database, engine
+                          ) -> Optional[List[VarRelation]]:
     free = cq.free_variables()
     h = cq.hypergraph()
     tree, reduced = full_reducer(cq, db, engine=engine)

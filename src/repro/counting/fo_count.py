@@ -5,26 +5,76 @@ Thin facade over the local-pattern machinery of
 pseudo-linear cost, low-degree) classes, counting the satisfying
 assignments or the distinct answers of a local pattern is linear in
 ||D|| for a fixed pattern.
+
+Purely positive patterns (no negated atoms, no disequalities) whose
+atom set is alpha-acyclic are a plain ACQ in disguise; those are routed
+through the star-size counting engine (:func:`repro.counting.acq_count.
+count_acq`), which honours the ``engine`` argument — on the columnar
+backend the count runs through the vectorized group-sum message passing
+instead of the per-component anchored search.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.data.database import Database
-from repro.enumeration.bounded_degree import Pattern, count_pattern, model_check_pattern
+from repro.enumeration.bounded_degree import (
+    Pattern,
+    count_pattern,
+    model_check_pattern,
+)
 
 
-def count_assignments(pattern: Pattern, db: Database) -> int:
+def _as_acyclic_cq(pattern: Pattern, head) -> Optional["object"]:
+    """The pattern as an acyclic CQ with the given head, or None when
+    the pattern needs the local-search machinery (negation,
+    disequalities, or a cyclic positive part)."""
+    if pattern.negated or pattern.disequalities:
+        return None
+    from repro.errors import MalformedQueryError
+    from repro.logic.cq import ConjunctiveQuery
+
+    try:
+        cq = ConjunctiveQuery(tuple(head), pattern.atoms, name=pattern.name)
+    except MalformedQueryError:
+        return None
+    return cq if cq.is_acyclic() else None
+
+
+def count_assignments(pattern: Pattern, db: Database, engine=None) -> int:
     """Number of satisfying assignments of all pattern variables —
     Theorem 3.2's counting statement, linear time on bounded degree."""
+    cq = _as_acyclic_cq(pattern, pattern.variables())
+    if cq is not None:
+        from repro.counting.acq_count import count_acq
+
+        return count_acq(cq, db, engine=engine)
     return count_pattern(pattern, db, distinct_head=False)
 
 
-def count_answers(pattern: Pattern, db: Database) -> int:
+def count_answers(pattern: Pattern, db: Database, engine=None) -> int:
     """Number of distinct head tuples (requires no cross-component
     disequalities — see count_pattern)."""
+    cq = _as_acyclic_cq(pattern, pattern.head)
+    if cq is not None:
+        from repro.counting.acq_count import count_acq
+
+        return count_acq(cq, db, engine=engine)
     return count_pattern(pattern, db, distinct_head=True)
 
 
-def decide(pattern: Pattern, db: Database) -> bool:
+def decide(pattern: Pattern, db: Database, engine=None) -> bool:
     """Theorem 3.1: linear-time model checking on bounded degree."""
+    if not pattern.negated and not pattern.disequalities:
+        from repro.errors import NotAcyclicError
+        from repro.eval.yannakakis import yannakakis_boolean
+        from repro.logic.cq import ConjunctiveQuery
+
+        try:
+            cq = ConjunctiveQuery((), pattern.atoms, name=pattern.name)
+            if cq.is_acyclic():
+                return yannakakis_boolean(cq, db, engine=engine)
+        except NotAcyclicError:  # pragma: no cover - guarded by is_acyclic
+            pass
     return model_check_pattern(pattern, db)

@@ -51,6 +51,38 @@ class WeightFunction:
         """The counting weight (every element weighs 1)."""
         return cls(None, default=1)
 
+    def code_table(self, dictionary) -> Optional[Any]:
+        """Per-code float64 weight table for the columnar counting kernel.
+
+        Maps every value interned in ``dictionary``
+        (:class:`repro.engine.columnar.ValueDictionary`) through the
+        weight function into a numpy float64 array indexed by code.
+        Returns None — "use the exact per-tuple path" — as soon as any
+        weight is not a machine numeric exactly representable in float64
+        (bools, floats, and ints with |w| <= 2^53 qualify; Fractions,
+        Decimals and other field elements do not).
+
+        Float64 caveat: each *weight* is exact, but the kernel's sums
+        and products are float64 arithmetic, so results of magnitude
+        beyond 2^53 may round where the per-tuple path (arbitrary
+        precision ints) would not.  Callers convert integral results
+        back to int when every weight is integer-valued.
+        """
+        import numpy as np
+
+        n = len(dictionary)
+        table = np.empty(n, dtype=np.float64)
+        fn = self._fn
+        for code in range(n):
+            w = fn(dictionary.decode(code))
+            if isinstance(w, bool) or isinstance(w, int):
+                if abs(w) > 2 ** 53:
+                    return None
+            elif not isinstance(w, float):
+                return None
+            table[code] = w
+        return table
+
 
 def sum_of_weights(answers: Iterable[Iterable[Any]],
                    weights: Optional[WeightFunction] = None) -> Any:

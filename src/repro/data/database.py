@@ -142,6 +142,23 @@ class Database:
         degs = self.degrees()
         return max(degs.values()) if degs else 0
 
+    # ------------------------------------------------------------ fingerprint
+
+    def fingerprint(self) -> Tuple:
+        """A hashable snapshot identity for plan caching.
+
+        Combines, per relation, its object identity with its mutation
+        ``version`` and cardinality, plus the domain size — equal
+        fingerprints mean "the same relation objects in the same state".
+        Only sound while the relation objects are alive (``id`` reuse);
+        :mod:`repro.core.plancache` pins them for exactly that reason.
+        """
+        return (
+            len(self._domain),
+            tuple((name, id(rel), rel.version, len(rel))
+                  for name, rel in self._relations.items()),
+        )
+
     # ------------------------------------------------------------------ misc
 
     def copy(self) -> "Database":

@@ -32,7 +32,8 @@ class Relation:
         Optional initial contents; duplicates are silently collapsed.
     """
 
-    __slots__ = ("name", "arity", "_tuples", "_indexes", "_colcache")
+    __slots__ = ("name", "arity", "_tuples", "_indexes", "_colcache",
+                 "_version")
 
     def __init__(self, name: str, arity: int, tuples: Optional[Iterable[Sequence[Any]]] = None):
         if arity < 0:
@@ -46,6 +47,9 @@ class Relation:
         # dictionary-encoded column cache of the columnar engine
         # (see repro.engine.columnar.encoded_relation_columns)
         self._colcache = None
+        # bumped on every effective add/discard; (id, version, len) is the
+        # plan-cache invalidation fingerprint (repro.core.plancache)
+        self._version = 0
         if tuples is not None:
             for t in tuples:
                 self.add(t)
@@ -63,6 +67,7 @@ class Relation:
             return
         self._tuples[t] = None
         self._colcache = None
+        self._version += 1
         for cols, index in self._indexes.items():
             index.setdefault(tuple(t[c] for c in cols), []).append(t)
 
@@ -79,6 +84,7 @@ class Relation:
             return
         del self._tuples[t]
         self._colcache = None
+        self._version += 1
         for cols, index in self._indexes.items():
             key = tuple(t[c] for c in cols)
             bucket = index.get(key)
@@ -117,6 +123,11 @@ class Relation:
 
     def __repr__(self) -> str:
         return f"Relation({self.name!r}, arity={self.arity}, size={len(self)})"
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every effective add/discard."""
+        return self._version
 
     def tuples(self) -> List[Tup]:
         """Return the contents as a list, in insertion order."""

@@ -124,7 +124,13 @@ class DynamicFreeConnexView:
             raise NotFreeConnexError(f"{cq!r} is not free-connex")
         self.cq = cq
         self.free = tuple(cq.head)
-        tree, virtual = free_connex_join_tree(cq)
+        # the tree depends on the query alone, so views over many
+        # databases (and repeated view construction) share one entry
+        from repro.core.plancache import cached_plan
+
+        tree, virtual = cached_plan(
+            "free_connex_tree", cq, None, "-",
+            lambda: free_connex_join_tree(cq))
         self._nodes: List[_Node] = []
         for i, atom in enumerate(cq.atoms):
             self._nodes.append(_Node(i, atom, atom.variables()))

@@ -27,6 +27,14 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Union
 
 from repro.engine.base import ColumnarEngine, Engine, TupleEngine
+from repro.engine.enumerate import (
+    BLOCK_ENV_VAR,
+    DEFAULT_BLOCK_SIZE,
+    BlockIterator,
+    batchable,
+    block_enumerate,
+    resolve_block_size,
+)
 
 DEFAULT_ENGINE = "tuple"
 ENV_VAR = "REPRO_ENGINE"
@@ -109,4 +117,10 @@ __all__ = [
     "resolve_engine",
     "DEFAULT_ENGINE",
     "ENV_VAR",
+    "BlockIterator",
+    "batchable",
+    "block_enumerate",
+    "resolve_block_size",
+    "DEFAULT_BLOCK_SIZE",
+    "BLOCK_ENV_VAR",
 ]

@@ -61,11 +61,12 @@ class ValueDictionary:
     dictionary makes this automatic).
     """
 
-    __slots__ = ("_codes", "_values")
+    __slots__ = ("_codes", "_values", "_table")
 
     def __init__(self) -> None:
         self._codes: Dict[Any, int] = {}
         self._values: List[Any] = []
+        self._table: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self._values)
@@ -109,11 +110,22 @@ class ValueDictionary:
             return codes_for_uniq[inverse.reshape(-1)]
         return self.encode_values(list(column))
 
+    def decode_table(self) -> np.ndarray:
+        """Object-array lookup table ``table[code] -> value`` (cached).
+
+        Codes are append-only, so a cached table is valid iff its length
+        still matches; the block-emission path decodes one gather per
+        block instead of rebuilding the table each time.
+        """
+        if self._table is None or len(self._table) != len(self._values):
+            table = np.empty(len(self._values), dtype=object)
+            table[:] = self._values
+            self._table = table
+        return self._table
+
     def decode_column(self, codes: np.ndarray) -> np.ndarray:
         """Decode a code array into an object array of original values."""
-        table = np.empty(len(self._values), dtype=object)
-        table[:] = self._values
-        return table[codes]
+        return self.decode_table()[codes]
 
 
 _DEFAULT_DICTIONARY = ValueDictionary()
@@ -164,9 +176,10 @@ def first_occurrences(ids: np.ndarray) -> np.ndarray:
 
 def grouped_sums(ids: np.ndarray, card: int,
                  values: np.ndarray) -> np.ndarray:
-    """Exact int64 per-group sums (``np.add.at`` scatter, not float
-    bincount, so large counts stay exact up to int64 range)."""
-    sums = np.zeros(card, dtype=np.int64)
+    """Per-group sums following the value dtype (``np.add.at`` scatter,
+    not float bincount, so int64 counts stay exact up to int64 range;
+    float64 weighted sums follow IEEE semantics)."""
+    sums = np.zeros(card, dtype=values.dtype)
     np.add.at(sums, ids, values)
     return sums
 
@@ -193,7 +206,10 @@ class ColumnarRelation:
             v: i for i, v in enumerate(self.variables)}
         if len(self._positions) != len(self.variables):
             raise ValueError("duplicate variables in ColumnarRelation schema")
-        self._dict = dictionary or default_dictionary()
+        # `is not None`, not truthiness: an empty ValueDictionary is falsy
+        # (it has __len__) but must still be honoured as the caller's
+        # dictionary rather than silently aliasing the global default
+        self._dict = dictionary if dictionary is not None else default_dictionary()
         self._columns: List[np.ndarray] = [
             np.empty(0, dtype=np.int64) for _ in self.variables]
         self._nrows = 0
@@ -549,22 +565,34 @@ def materialise_atom_columnar(db, atom,
 
 def count_acyclic_join_columnar(relations: Sequence[ColumnarRelation],
                                 tree, charged: Dict[int, Tuple[Variable, ...]],
-                                share_vars: Dict[int, Tuple[Variable, ...]]
-                                ) -> int:
-    """Vectorized bottom-up counting messages (unweighted Theorem 4.21).
+                                share_vars: Dict[int, Tuple[Variable, ...]],
+                                weight_table: Optional[np.ndarray] = None
+                                ) -> Any:
+    """Vectorized bottom-up counting messages (Theorem 4.21).
 
     Mirrors the tuple-backed message passing of
     :func:`repro.counting.acq_count.count_full_acyclic_join`: a message is
-    ``(key columns, per-key int64 sums)``; child factors are fetched with
-    a dense scatter/gather instead of per-tuple dict probes.  Counts are
-    exact up to the int64 range.
+    ``(key columns, per-key sums)``; child factors are fetched with
+    a dense scatter/gather instead of per-tuple dict probes.
+
+    Unweighted (``weight_table=None``) sums run in int64, exact up to
+    its range.  With a per-code float64 ``weight_table``
+    (:meth:`repro.counting.weighted.WeightFunction.code_table`) each
+    node's charged variables contribute a gathered weight factor and
+    the messages become float64 — IEEE semantics, see code_table's
+    caveat.
     """
     messages: Dict[int, Tuple[List[np.ndarray], np.ndarray]] = {}
     for node in tree.bottom_up():
         rel = relations[node]
         rel._flush()
         n = len(rel)
-        values = np.ones(n, dtype=np.int64)
+        if weight_table is None:
+            values = np.ones(n, dtype=np.int64)
+        else:
+            values = np.ones(n, dtype=np.float64)
+            for v in charged[node]:
+                values = values * weight_table[rel.column(v)]
         for child in tree.children[node]:
             mkeys, mvals = messages[child]
             probe_cols = [rel.column(v) for v in share_vars[child]]
@@ -572,7 +600,7 @@ def count_acyclic_join_columnar(relations: Sequence[ColumnarRelation],
             joint = [np.concatenate([mk, pc])
                      for mk, pc in zip(mkeys, probe_cols)]
             ids, card = group_ids(joint, g + n)
-            factor = np.zeros(card, dtype=np.int64)
+            factor = np.zeros(card, dtype=mvals.dtype)
             factor[ids[:g]] = mvals
             values = values * factor[ids[g:]]
         shared_cols = [rel.column(v) for v in share_vars[node]]
@@ -581,4 +609,7 @@ def count_acyclic_join_columnar(relations: Sequence[ColumnarRelation],
         uniq, first = np.unique(ids, return_index=True)
         messages[node] = ([c[first] for c in shared_cols], sums[uniq])
     _keys, root_sums = messages[tree.root]
-    return int(root_sums[0]) if len(root_sums) else 0
+    if len(root_sums) == 0:
+        return 0
+    root = root_sums[0]
+    return float(root) if weight_table is not None else int(root)

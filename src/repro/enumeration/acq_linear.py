@@ -27,7 +27,8 @@ from repro.eval.yannakakis import full_reducer
 from repro.logic.cq import ConjunctiveQuery
 
 
-def _head_variable_values(cq: ConjunctiveQuery, db: Database) -> List[Any]:
+def _head_variable_values(cq: ConjunctiveQuery, db: Database,
+                          engine=None) -> List[Any]:
     """Values of the first head variable occurring in some answer.
 
     One full reduction; afterwards every tuple of every atom extends to a
@@ -35,7 +36,7 @@ def _head_variable_values(cq: ConjunctiveQuery, db: Database) -> List[Any]:
     exactly the answer values of x_1.
     """
     x1 = cq.head[0]
-    _tree, reduced = full_reducer(cq, db)
+    _tree, reduced = full_reducer(cq, db, engine=engine)
     for i, atom in enumerate(cq.atoms):
         if x1 in atom.variable_set():
             return [t[0] for t in reduced[i].project((x1,))]
@@ -45,7 +46,7 @@ def _head_variable_values(cq: ConjunctiveQuery, db: Database) -> List[Any]:
 class LinearDelayACQEnumerator(Enumerator):
     """Algorithm 2: enumerate any acyclic CQ with linear-time delay."""
 
-    def __init__(self, cq: ConjunctiveQuery, db: Database):
+    def __init__(self, cq: ConjunctiveQuery, db: Database, engine=None):
         super().__init__()
         if cq.has_comparisons():
             raise UnsupportedQueryError(
@@ -56,11 +57,13 @@ class LinearDelayACQEnumerator(Enumerator):
             raise NotAcyclicError(f"query {cq!r} is not acyclic")
         self.cq = cq
         self.db = db
+        self.engine = engine
         self._first_values: List[Any] = []
 
     def _preprocess(self) -> None:
         if not self.cq.is_boolean():
-            self._first_values = _head_variable_values(self.cq, self.db)
+            self._first_values = _head_variable_values(self.cq, self.db,
+                                                       engine=self.engine)
 
     def _enumerate(self) -> Iterator[Answer]:
         cq, db = self.cq, self.db
@@ -81,6 +84,7 @@ class LinearDelayACQEnumerator(Enumerator):
         x1 = cq.head[0]
         for a in values:
             sub = cq.substitute({x1: a})
-            sub_values = _head_variable_values(sub, self.db)
+            sub_values = _head_variable_values(sub, self.db,
+                                               engine=self.engine)
             for rest in self._enumerate_from(sub, sub_values):
                 yield (a,) + rest

@@ -89,7 +89,8 @@ class FreeConnexEnumerator(Enumerator):
     """Linear-preprocessing, constant-delay enumeration of a free-connex
     acyclic conjunctive query (without comparisons)."""
 
-    def __init__(self, cq: ConjunctiveQuery, db: Database, engine=None):
+    def __init__(self, cq: ConjunctiveQuery, db: Database, engine=None,
+                 block_size: Optional[int] = None):
         super().__init__()
         if cq.has_comparisons():
             raise UnsupportedQueryError(
@@ -100,26 +101,47 @@ class FreeConnexEnumerator(Enumerator):
         self.cq = cq
         self.db = db
         self.engine = engine
+        self.block_size = block_size
         self._inner: Optional[FullJoinEnumerator] = None
         self._boolean_true = False
 
     def _preprocess(self) -> None:
+        # the whole preprocessing output (Boolean verdict or a prepared
+        # inner enumerator) is plan-cached: a preprocessed
+        # FullJoinEnumerator is immutable and restartable, so repeated
+        # queries against an unchanged database skip reduction,
+        # projection and probe-structure builds entirely
+        from repro.core.plancache import cached_plan
+        from repro.engine import resolve_engine
+        from repro.engine.enumerate import resolve_block_size
+
+        eng_name = resolve_engine(self.engine).name
+        block = resolve_block_size(self.block_size)
+        kind, payload = cached_plan("free_connex", self.cq, self.db,
+                                    eng_name, self._build_plan, extra=block)
+        if kind == "bool":
+            self._boolean_true = payload
+        else:
+            self._inner = payload
+
+    def _build_plan(self):
         cq, db = self.cq, self.db
         derived = derive_free_join(cq, db, engine=self.engine)
         if cq.is_boolean():
             # satisfiable iff no derived relation is empty (full reduction
             # has already propagated emptiness everywhere)
-            self._boolean_true = all(len(r) > 0 for r in derived)
-            return
-        if any(len(r.variables) == 0 for r in derived):
-            # a fully quantified component came back empty
-            nonempty = [r for r in derived if len(r.variables) > 0]
-            if any(len(r) == 0 for r in derived):
-                self._inner = None
-                return
-            derived = nonempty
-        self._inner = FullJoinEnumerator(derived, self.cq.head, reduce=True)
-        self._inner.preprocess()
+            return ("bool", all(len(r) > 0 for r in derived))
+        # zero-ary relations are Boolean verdicts of fully quantified
+        # S-components: an empty one falsifies the whole query, a
+        # non-empty one is vacuous — either way they leave the join
+        zero_ary = [r for r in derived if len(r.variables) == 0]
+        if any(len(r) == 0 for r in zero_ary):
+            return ("enum", None)
+        derived = [r for r in derived if len(r.variables) > 0]
+        inner = FullJoinEnumerator(derived, self.cq.head, reduce=True,
+                                   block_size=self.block_size)
+        inner.preprocess()
+        return ("enum", inner)
 
     def _enumerate(self) -> Iterator[Answer]:
         if self.cq.is_boolean():

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import NotAcyclicError
+from repro.engine.enumerate import BlockIterator, batchable, resolve_block_size
 from repro.enumeration.base import Answer, Enumerator
 from repro.eval.join import VarRelation
 from repro.hypergraph.hypergraph import Hypergraph
@@ -62,14 +63,23 @@ class FullJoinEnumerator(Enumerator):
         When True (default) run the full reducer first, guaranteeing
         global consistency; set False only when the inputs are known
         consistent (saves one linear pass).
+    block_size:
+        Amortisation block size for the batched columnar pipeline
+        (:class:`repro.engine.enumerate.BlockIterator`).  Used only when
+        every relation is a ColumnarRelation over one shared dictionary;
+        ``None`` consults ``REPRO_BLOCK_SIZE`` (default 1024), and a
+        value <= 0 forces the tuple-at-a-time path.
     """
 
     def __init__(self, relations: Sequence[VarRelation],
-                 head: Sequence[Variable], reduce: bool = True):
+                 head: Sequence[Variable], reduce: bool = True,
+                 block_size: Optional[int] = None):
         super().__init__()
         self._relations = list(relations)
         self._head = tuple(head)
         self._reduce = reduce
+        self._block_size = resolve_block_size(block_size)
+        self._block_iter: Optional[BlockIterator] = None
         all_vars: Dict[Variable, None] = {}
         for r in self._relations:
             for v in r.variables:
@@ -98,6 +108,13 @@ class FullJoinEnumerator(Enumerator):
         if any(len(r) == 0 for r in self._relations):
             self._empty = True
             return
+        if self._block_size > 0 and batchable(self._relations):
+            # batched columnar pipeline: probe structures replace the
+            # decoded hash indexes entirely
+            self._block_iter = BlockIterator(
+                self._relations, self._head, block_size=self._block_size,
+                tree=self._tree, reduce=False)
+            return
         # DFS preorder; for each node, the probe variables (shared with parent)
         self._order = self._tree.top_down()
         self._probe_vars = []
@@ -116,8 +133,32 @@ class FullJoinEnumerator(Enumerator):
 
     # ------------------------------------------------------------- enumerate
 
+    def blocks(self) -> Iterator[List[Answer]]:
+        """Answer blocks of size <= block_size (preprocesses if needed).
+
+        On the batched path these are the kernel's native blocks; on the
+        tuple path the per-tuple stream is chunked, so consumers can be
+        written block-at-a-time against either backend.
+        """
+        self.preprocess()
+        if self._block_iter is not None:
+            yield from self._block_iter.blocks()
+            return
+        block_size = max(1, self._block_size)
+        block: List[Answer] = []
+        for tup in self._enumerate():
+            block.append(tup)
+            if len(block) >= block_size:
+                yield block
+                block = []
+        if block:
+            yield block
+
     def _enumerate(self) -> Iterator[Answer]:
         if self._empty:
+            return
+        if self._block_iter is not None:
+            yield from self._block_iter
             return
         order = self._order
         relations = self._relations

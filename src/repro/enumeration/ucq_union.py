@@ -46,7 +46,8 @@ from repro.logic.ucq import UnionOfConjunctiveQueries
 
 def _materialise_provided(db: Database, ucq: UnionOfConjunctiveQueries,
                           prov: ProvidedSet,
-                          provider_query=None) -> Relation:
+                          provider_query=None, engine=None,
+                          block_size: Optional[int] = None) -> Relation:
     """The fresh relation interpreting P(prov.variables).
 
     Contents: for each answer of the provider projected onto S (computed
@@ -63,7 +64,8 @@ def _materialise_provided(db: Database, ucq: UnionOfConjunctiveQueries,
     hom = prov.hom_dict()
     s_ordered = tuple(sorted(prov.s_vars, key=lambda v: v.name))
     s_query = provider.with_head(s_ordered)
-    enum = FreeConnexEnumerator(s_query, db)
+    enum = FreeConnexEnumerator(s_query, db, engine=engine,
+                                block_size=block_size)
     # for each output coordinate, the provider variables mapping onto it
     preimages: List[Tuple[int, ...]] = []
     for v in prov.variables:
@@ -92,10 +94,13 @@ class UCQEnumerator(Enumerator):
     """Round-robin, deduplicated enumeration of a UCQ whose disjuncts all
     admit free-connex union extensions."""
 
-    def __init__(self, ucq: UnionOfConjunctiveQueries, db: Database):
+    def __init__(self, ucq: UnionOfConjunctiveQueries, db: Database,
+                 engine=None, block_size: Optional[int] = None):
         super().__init__()
         self.ucq = ucq
         self.db = db
+        self.engine = engine
+        self.block_size = block_size
         self._streams: List[Iterator[Answer]] = []
 
     def _preprocess(self) -> None:
@@ -118,10 +123,14 @@ class UCQEnumerator(Enumerator):
                 if prov.from_extension:
                     provider_query = plan[prov.provider_index].extended
                 rel = _materialise_provided(shared_db, self.ucq, prov,
-                                            provider_query=provider_query)
+                                            provider_query=provider_query,
+                                            engine=self.engine,
+                                            block_size=self.block_size)
                 rel.name = name
                 shared_db.add_relation(rel)
-            enum = FreeConnexEnumerator(ext.extended, shared_db)
+            enum = FreeConnexEnumerator(ext.extended, shared_db,
+                                        engine=self.engine,
+                                        block_size=self.block_size)
             enum.preprocess()
             enumerators[ext_index] = enum
         self._streams = [e._enumerate() for e in enumerators]
@@ -170,10 +179,12 @@ class MaterialisedUnionEnumerator(Enumerator):
         yield from self._answers
 
 
-def enumerate_ucq(ucq: UnionOfConjunctiveQueries, db: Database) -> Enumerator:
+def enumerate_ucq(ucq: UnionOfConjunctiveQueries, db: Database,
+                  engine=None,
+                  block_size: Optional[int] = None) -> Enumerator:
     """Best applicable engine for a UCQ."""
     try:
-        enum = UCQEnumerator(ucq, db)
+        enum = UCQEnumerator(ucq, db, engine=engine, block_size=block_size)
         enum.preprocess()
         return enum
     except (NotFreeConnexError, UnsupportedQueryError):

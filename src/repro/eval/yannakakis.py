@@ -58,11 +58,32 @@ def full_reducer(cq: ConjunctiveQuery, db: Database,
 
     Returns the join tree used and the list of reduced relations (indexed
     like ``cq.atoms``).  Raises :class:`NotAcyclicError` on cyclic queries.
+
+    With neither ``tree`` nor ``relations`` given, the result is served
+    from the plan cache (:mod:`repro.core.plancache`) when an entry for
+    (query, engine, database state) exists; the reduced relations are
+    returned as shallow copies, so callers may index or mutate them
+    without corrupting the cache.
     """
+    if tree is None and relations is None:
+        from repro.core.plancache import cached_plan
+
+        eng = _engine(engine)
+        tree, reduced = cached_plan(
+            "full_reducer", cq, db, eng.name,
+            lambda: _full_reduce(cq, db, cached_join_tree(cq.hypergraph()),
+                                 materialise_atoms(cq, db, eng)))
+        return tree, [r.copy() for r in reduced]
     if tree is None:
         tree = cached_join_tree(cq.hypergraph())
     if relations is None:
         relations = materialise_atoms(cq, db, engine)
+    return _full_reduce(cq, db, tree, relations)
+
+
+def _full_reduce(cq: ConjunctiveQuery, db: Database, tree: JoinTree,
+                 relations: List[VarRelation]
+                 ) -> Tuple[JoinTree, List[VarRelation]]:
     relations = list(relations)
     # bottom-up: parent := parent semijoin child
     for node in tree.bottom_up():

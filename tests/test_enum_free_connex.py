@@ -73,6 +73,39 @@ def test_empty_answer_set():
     assert list(FreeConnexEnumerator(q, db)) == []
 
 
+def test_empty_quantified_component_kills_all_answers():
+    """Regression: a fully quantified S-component whose relations reduce
+    to empty contributes a zero-ary empty relation to the derived join;
+    the enumerator must emit nothing (the old `nonempty` branch re-tested
+    the unfiltered list and could never take effect)."""
+    # component over x is live; the fully quantified component {u, w}
+    # joins T with U on w, and U is empty -> no answers at all
+    db = Database([
+        Relation("R", 1, [(1,), (2,)]),
+        Relation("T", 2, [(7, 8)]),
+        Relation("U", 1, []),
+    ])
+    q = parse_cq("Q(x) :- R(x), T(u, w), U(w)")
+    enum = FreeConnexEnumerator(q, db)
+    assert list(enum) == []
+    # the zero-ary verdict must also survive inside derive_free_join
+    derived = derive_free_join(q, db)
+    zero_ary = [r for r in derived if len(r.variables) == 0]
+    assert zero_ary and all(len(r) == 0 for r in zero_ary)
+
+
+def test_nonempty_quantified_component_is_filtered_not_joined():
+    """The mirror case: the quantified component is satisfiable, so its
+    verdict must not block the live component's answers."""
+    db = Database([
+        Relation("R", 1, [(1,), (2,)]),
+        Relation("T", 2, [(7, 8)]),
+        Relation("U", 1, [(8,)]),
+    ])
+    q = parse_cq("Q(x) :- R(x), T(u, w), U(w)")
+    assert set(FreeConnexEnumerator(q, db)) == {(1,), (2,)}
+
+
 def test_derived_join_projects_onto_free_variables(small_db):
     q = parse_cq("Q(x) :- R(x, z), S(z, y)")
     derived = derive_free_join(q, small_db)
