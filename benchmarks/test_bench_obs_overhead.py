@@ -1,0 +1,135 @@
+"""Disabled-tracer overhead guard for the observability layer (ISSUE 3).
+
+The instrumentation in the pipeline is compiled in permanently; with the
+null tracer installed each site costs one attribute check (plus a no-op
+context manager on span sites).  The acceptance bar: that cost stays
+under 5% of the 100k-tuple enumeration benchmark's wall time.
+
+The untraced baseline cannot be re-measured at runtime (the calls are in
+the code), so the guard is computed from measurables:
+
+* ``wall`` — enumeration wall time with the tracer disabled;
+* ``events`` — how many instrumentation events the same run fires,
+  counted by an enabled tracer on an identical workload;
+* ``null_cost`` — the measured per-call cost of a disabled
+  ``obs.span``/``obs.count``, microbenchmarked directly.
+
+``events * null_cost`` bounds the disabled-path spend inside ``wall``;
+the guard asserts it is below 5%.  Results merge into
+``BENCH_obs.json`` at the repo root.
+"""
+
+import json
+import os
+import time
+
+from _util import REPO_ROOT, format_rows, record
+
+from repro import obs
+from repro.core.plancache import clear_plan_cache
+from repro.data import generators
+from repro.enumeration.free_connex import FreeConnexEnumerator
+from repro.logic.parser import parse_cq
+
+OBS_RESULTS = os.path.join(REPO_ROOT, "BENCH_obs.json")
+
+FULL_QUERY = "Q(x, z, y) :- R(x, z), S(z, y)"
+N_BIG = 100_000
+MAX_OVERHEAD = 0.05
+
+
+def make_db(n, seed=7):
+    return generators.random_database({"R": 2, "S": 2}, max(4, n // 4), n,
+                                      seed=seed)
+
+
+def record_obs(experiment, mode, n, **fields):
+    """Merge one row into BENCH_obs.json (keyed on experiment/mode/n)."""
+    rows = []
+    if os.path.exists(OBS_RESULTS):
+        try:
+            with open(OBS_RESULTS) as fh:
+                rows = json.load(fh)
+        except ValueError:
+            rows = []
+    rows = [r for r in rows
+            if (r.get("experiment"), r.get("mode"), r.get("n"))
+            != (experiment, mode, n)]
+    rows.append({"experiment": experiment, "mode": mode, "n": n, **fields})
+    rows.sort(key=lambda r: (r["experiment"], r["n"], r["mode"]))
+    with open(OBS_RESULTS, "w") as fh:
+        json.dump(rows, fh, indent=2)
+        fh.write("\n")
+    return OBS_RESULTS
+
+
+def _timed_enumeration(q, db):
+    """(wall seconds, answers) for one full cold evaluation."""
+    clear_plan_cache()
+    enum = FreeConnexEnumerator(q, db, engine="columnar")
+    start = time.perf_counter()
+    n = sum(1 for _ in enum)
+    return time.perf_counter() - start, n
+
+
+def _null_call_cost():
+    """Per-call seconds of a disabled instrumentation site (span + count,
+    averaged), measured on the null tracer."""
+    assert not obs.enabled()
+    reps = 200_000
+    start = time.perf_counter()
+    for _ in range(reps):
+        with obs.span("x"):
+            pass
+    span_cost = (time.perf_counter() - start) / reps
+    start = time.perf_counter()
+    for _ in range(reps):
+        obs.count("x")
+    count_cost = (time.perf_counter() - start) / reps
+    return max(span_cost, count_cost)
+
+
+def test_disabled_tracer_overhead_under_5pct(benchmark):
+    """events x null-call-cost < 5% of the 100k enumeration wall time."""
+    q = parse_cq(FULL_QUERY)
+    db = make_db(N_BIG)
+    obs.disable()
+
+    # disabled-path wall time (best of 3 cold runs)
+    wall, answers = min(_timed_enumeration(q, db) for _ in range(3))
+
+    # the same workload's event count, from an enabled tracer
+    clear_plan_cache()
+    with obs.capture() as t:
+        traced_start = time.perf_counter()
+        traced_answers = sum(
+            1 for _ in FreeConnexEnumerator(q, db, engine="columnar"))
+        traced_wall = time.perf_counter() - traced_start
+        events = t.events + len(t.spans)  # counters/gauges + span begins
+    assert traced_answers == answers
+
+    null_cost = _null_call_cost()
+    overhead = events * null_cost
+    fraction = overhead / max(wall, 1e-9)
+
+    rows = [
+        ("disabled wall s", f"{wall:.4f}"),
+        ("traced wall s", f"{traced_wall:.4f}"),
+        ("answers", answers),
+        ("instrumentation events", events),
+        ("null call cost ns", f"{null_cost * 1e9:.1f}"),
+        ("bounded overhead s", f"{overhead:.6f}"),
+        ("overhead fraction", f"{fraction:.4%}"),
+    ]
+    record("obs_overhead",
+           "Disabled-tracer overhead bound on the 100k enumeration "
+           "workload\n" + format_rows(["quantity", "value"], rows))
+    record_obs("overhead", "disabled", N_BIG,
+               wall_seconds=wall, answers=answers, events=events,
+               null_call_cost_ns=null_cost * 1e9,
+               overhead_fraction=fraction)
+    record_obs("overhead", "enabled", N_BIG,
+               wall_seconds=traced_wall, answers=traced_answers,
+               spans=len(t.spans))
+    assert fraction < MAX_OVERHEAD, rows
+    benchmark(_null_call_cost)

@@ -16,12 +16,24 @@ Commands
         python -m repro run "Q(x) :- R(x, z), S(z, y)" --data ./tables \\
             [--count | --limit N]
 
+``explain``
+    Evaluate a query under tracing and print the span tree: plan-cache
+    hits/misses, per-phase timings (preprocessing vs enumeration) and
+    kernel counters.  Runs against ``--data`` or a synthetic database::
+
+        python -m repro explain "Q(x) :- R(x, z), S(z, y)"
+
 ``figures``
     Regenerate the paper's three figures as text.
 
 ``bench-delay``
     Quick built-in delay experiment: free-connex vs Algorithm 2 on
     synthetic data of a given size.
+
+``run``, ``explain`` and the benchmarks accept ``--trace FILE`` (Chrome
+trace-event JSON for chrome://tracing / Perfetto) and ``--metrics``
+(flat JSON counters/gauges on stderr); the ``REPRO_TRACE`` environment
+variable does the same without flags.
 """
 
 from __future__ import annotations
@@ -102,26 +114,156 @@ def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
                         "(default on, env REPRO_PLAN_CACHE)")
 
 
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    """The shared observability knobs (--trace / --metrics)."""
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a Chrome trace-event JSON of the run "
+                        "(open in chrome://tracing or Perfetto); the "
+                        "REPRO_TRACE environment variable does the same")
+    p.add_argument("--metrics", action="store_true",
+                   help="dump flat JSON metrics (counters, gauges, "
+                        "plan-cache stats) to stderr after the run")
+
+
+def _obs_setup(args: argparse.Namespace):
+    """Install a fresh tracer when --trace/--metrics ask for one.
+
+    Returns (tracer, previous) to hand to :func:`_obs_finish`; tracer is
+    None when neither flag was given (the REPRO_TRACE environment path
+    is then still honoured by the obs module itself)."""
+    if not (getattr(args, "trace", None) or getattr(args, "metrics", False)):
+        return None, None
+    from repro import obs
+
+    previous = obs.tracer()
+    return obs.enable(), previous
+
+
+def _obs_finish(args: argparse.Namespace, tracer, previous) -> None:
+    """Emit the requested trace/metrics outputs and restore the tracer."""
+    if tracer is None:
+        return
+    import json
+
+    from repro import obs
+
+    if getattr(args, "trace", None):
+        obs.write_chrome_trace(args.trace, tracer)
+        print(f"wrote trace {args.trace}", file=sys.stderr)
+    if getattr(args, "metrics", False):
+        print(json.dumps(obs.metrics(tracer), indent=2, sort_keys=True),
+              file=sys.stderr)
+    if previous is not None and previous.enabled:
+        obs.enable(previous)
+    else:
+        obs.disable()
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Evaluate a query over CSV relations (count, limit supported)."""
     from repro.core.planner import count, enumerate_answers
     from repro.logic.parser import parse_query
 
     _select_engine(args)
+    tracer, previous = _obs_setup(args)
     query = parse_query(args.query)
     db = load_csv_database(args.data)
-    if args.count:
-        print(count(query, db))
+    try:
+        if args.count:
+            print(count(query, db))
+            return 0
+        emitted = 0
+        for row in enumerate_answers(query, db, block_size=args.block_size):
+            print("\t".join(str(v) for v in row))
+            emitted += 1
+            if args.limit is not None and emitted >= args.limit:
+                break
+        if emitted == 0:
+            print("(no answers)", file=sys.stderr)
         return 0
-    emitted = 0
-    for row in enumerate_answers(query, db, block_size=args.block_size):
-        print("\t".join(str(v) for v in row))
-        emitted += 1
-        if args.limit is not None and emitted >= args.limit:
-            break
-    if emitted == 0:
-        print("(no answers)", file=sys.stderr)
+    finally:
+        _obs_finish(args, tracer, previous)
+
+
+def _synthetic_database(query, size: int, seed: int) -> Database:
+    """A random database matching the query's relation schema (for
+    ``explain`` without ``--data``)."""
+    from repro.data import generators
+    from repro.logic.cq import ConjunctiveQuery
+    from repro.logic.ucq import UnionOfConjunctiveQueries
+
+    if isinstance(query, ConjunctiveQuery):
+        disjuncts = [query]
+    elif isinstance(query, UnionOfConjunctiveQueries):
+        disjuncts = list(query.disjuncts)
+    else:
+        raise SystemExit(
+            "explain needs --data for this query class (synthetic data is "
+            "only generated for CQs and UCQs)"
+        )
+    schema: dict = {}
+    for d in disjuncts:
+        for atom in d.atoms:
+            arity = schema.setdefault(atom.relation, atom.arity)
+            if arity != atom.arity:
+                raise SystemExit(
+                    f"relation {atom.relation} used with arities {arity} "
+                    f"and {atom.arity}"
+                )
+    return generators.random_database(schema, max(4, size // 4), size,
+                                      seed=seed)
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Trace one evaluation and print the span tree + counters."""
+    from repro import obs
+    from repro.core.planner import count, enumerate_answers
+    from repro.logic.parser import parse_query
+
+    _select_engine(args)
+    query = parse_query(args.query)
+    if args.data:
+        db = load_csv_database(args.data)
+    else:
+        db = _synthetic_database(query, args.size, args.seed)
+    with obs.capture() as tr:
+        if args.count:
+            result = count(query, db)
+            outcome = f"count: {result}"
+        else:
+            emitted = 0
+            for _row in enumerate_answers(query, db,
+                                          block_size=args.block_size):
+                emitted += 1
+                if args.limit is not None and emitted >= args.limit:
+                    break
+            outcome = f"answers: {emitted}"
+    print(f"query: {query}")
+    source = args.data if args.data else \
+        f"synthetic ({args.size} tuples/relation, seed {args.seed})"
+    print(f"database: {source}")
+    print(outcome)
+    print()
+    print(obs.render_explain(tr))
+    if args.trace:
+        obs.write_chrome_trace(args.trace, tr)
+        print(f"wrote trace {args.trace}", file=sys.stderr)
+    if args.metrics:
+        import json
+
+        print(json.dumps(obs.metrics(tr), indent=2, sort_keys=True),
+              file=sys.stderr)
     return 0
+
+
+def _print_plan_cache_stats() -> None:
+    """One-line plan-cache health summary (doctor + metrics dumps)."""
+    from repro.core.plancache import plan_cache
+
+    st = plan_cache().stats()
+    print(f"plan cache: {st['hits']} hits, {st['misses']} misses, "
+          f"{st['evictions']} evictions ({st['entries']} entries, "
+          f"maxsize {st['maxsize']})")
 
 
 def cmd_doctor(args: argparse.Namespace) -> int:
@@ -137,6 +279,7 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     q = parse_query(args.query)
     if not isinstance(q, ConjunctiveQuery) or q.has_comparisons():
         print(classify(q).render())
+        _print_plan_cache_stats()
         return 0
     minimal = core(q)
     if not is_minimal(q):
@@ -158,6 +301,7 @@ def cmd_doctor(args: argparse.Namespace) -> int:
                 print(f"doctor's note: adding [{names}] to the head makes the "
                       f"query free-connex (constant delay, Theorem 4.6)")
                 break
+    _print_plan_cache_stats()
     return 0
 
 
@@ -229,7 +373,41 @@ def cmd_bench_core(args: argparse.Namespace) -> int:
         json.dump(rows, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
+    if args.json:
+        _write_bench_core_json(args.json, rows, args.sizes)
+        print(f"wrote {args.json}")
     return 0
+
+
+def _write_bench_core_json(path: str, rows: List[dict],
+                           sizes: List[int]) -> None:
+    """Structured bench-core results: raw rows plus a log-log scaling
+    slope per (op, backend) series."""
+    import json
+
+    from repro.perf.delay import timer_overhead_ns
+    from repro.perf.scaling import loglog_slope
+
+    slopes = {}
+    for row in rows:
+        slopes.setdefault((row["op"], row["backend"]), {})[row["n"]] = \
+            row["seconds"]
+    slope_rows = [
+        {"op": op, "backend": backend,
+         "loglog_slope": loglog_slope(sorted(series),
+                                      [series[n] for n in sorted(series)])}
+        for (op, backend), series in sorted(slopes.items())
+    ]
+    doc = {
+        "benchmark": "bench-core",
+        "sizes": list(sizes),
+        "timer_overhead_ns": timer_overhead_ns(),
+        "rows": rows,
+        "slopes": slope_rows,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
 
 
 def _timed_once(time_mod, fn) -> float:
@@ -250,6 +428,7 @@ def cmd_bench_delay(args: argparse.Namespace) -> int:
 
     fc = parse_cq("Q(x) :- R(x, z), S(z, y)")
     lin = parse_cq("Q(x, y) :- R(x, z), S(z, y)")
+    rows = []
     print(f"{'tuples':>8} {'fc median us':>13} {'fc p95 us':>10} "
           f"{'alg2 mean us':>13}")
     for n in args.sizes:
@@ -263,7 +442,58 @@ def cmd_bench_delay(args: argparse.Namespace) -> int:
         print(f"{n:>8} {p_fc.median_delay * 1e6:>13.2f} "
               f"{p_fc.percentile(0.95) * 1e6:>10.2f} "
               f"{p_lin.mean_delay * 1e6:>13.2f}")
+        rows.append({
+            "n": n,
+            "free_connex": _delay_profile_row(p_fc),
+            "acq_linear": _delay_profile_row(p_lin),
+        })
+    if args.json:
+        _write_bench_delay_json(args.json, rows, args.sizes)
+        print(f"wrote {args.json}", file=sys.stderr)
     return 0
+
+
+def _delay_profile_row(profile) -> dict:
+    """JSON-able summary of one DelayProfile (seconds throughout)."""
+    return {
+        "preprocessing_seconds": profile.preprocessing_seconds,
+        "outputs": profile.n_outputs,
+        "delay_p50_seconds": profile.percentile(0.50),
+        "delay_p95_seconds": profile.percentile(0.95),
+        "delay_p99_seconds": profile.percentile(0.99),
+        "delay_mean_seconds": profile.mean_delay,
+        "delay_max_seconds": profile.max_delay,
+    }
+
+
+def _write_bench_delay_json(path: str, rows: List[dict],
+                            sizes: List[int]) -> None:
+    """Structured bench-delay results with log-log scaling slopes: the
+    free-connex median delay should stay flat (slope ~0) while its
+    preprocessing and Algorithm 2's delay grow with the data."""
+    import json
+
+    from repro.perf.delay import timer_overhead_ns
+    from repro.perf.scaling import loglog_slope
+
+    ns = [row["n"] for row in rows]
+    doc = {
+        "benchmark": "bench-delay",
+        "sizes": list(sizes),
+        "timer_overhead_ns": timer_overhead_ns(),
+        "rows": rows,
+        "slopes": {
+            "free_connex_delay_p50": loglog_slope(
+                ns, [r["free_connex"]["delay_p50_seconds"] for r in rows]),
+            "free_connex_preprocessing": loglog_slope(
+                ns, [r["free_connex"]["preprocessing_seconds"] for r in rows]),
+            "acq_linear_delay_mean": loglog_slope(
+                ns, [r["acq_linear"]["delay_mean_seconds"] for r in rows]),
+        },
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -286,7 +516,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=None,
                    help="stop after N answers")
     _add_pipeline_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("explain",
+                       help="trace one evaluation and print the span tree")
+    p.add_argument("query")
+    p.add_argument("--data", default=None,
+                   help="directory of <Rel>.csv files (default: synthetic "
+                        "random data matching the query's schema)")
+    p.add_argument("--size", type=int, default=1000,
+                   help="tuples per relation for synthetic data")
+    p.add_argument("--seed", type=int, default=7,
+                   help="random seed for synthetic data")
+    p.add_argument("--count", action="store_true",
+                   help="trace the counting pipeline instead of enumeration")
+    p.add_argument("--limit", type=int, default=None,
+                   help="stop enumerating after N answers")
+    _add_pipeline_flags(p)
+    _add_obs_flags(p)
+    p.set_defaults(fn=cmd_explain)
 
     p = sub.add_parser("doctor", help="minimise + classify + suggest fixes")
     p.add_argument("query")
@@ -298,6 +547,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench-delay", help="quick delay experiment")
     p.add_argument("--sizes", type=int, nargs="+",
                    default=[1000, 4000, 16000])
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write structured results (p50/p95/p99 delays, "
+                        "preprocessing, log-log slopes) as JSON")
     _add_pipeline_flags(p)
     p.set_defaults(fn=cmd_bench_delay)
 
@@ -309,6 +561,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="backends to time (default: all registered)")
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--output", default="BENCH_core.json")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write structured results with per-(op, backend) "
+                        "log-log slopes as JSON")
     p.set_defaults(fn=cmd_bench_core)
 
     return parser

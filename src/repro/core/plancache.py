@@ -38,6 +38,8 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Callable, Hashable, Iterator, Optional, Tuple
 
+from repro import obs
+
 ENV_VAR = "REPRO_PLAN_CACHE"
 DEFAULT_MAXSIZE = 256
 
@@ -58,6 +60,7 @@ class PlanCache:
         self._entries: "OrderedDict[Hashable, Tuple[Any, Any]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------ state
 
@@ -68,9 +71,11 @@ class PlanCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
                 "entries": len(self._entries), "maxsize": self.maxsize}
 
     # ----------------------------------------------------------------- lookup
@@ -100,6 +105,8 @@ class PlanCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            obs.count("plancache.evictions")
         return value
 
 
@@ -151,11 +158,16 @@ def cached_plan(kind: str, query: Hashable, db, engine_name: str,
     same-query plans with different knobs (e.g. block size).
     """
     if not plan_cache_enabled():
-        return builder()
+        with obs.span("plan.build", kind=kind, cache="off"):
+            return builder()
     cache = _GLOBAL
-    key = PlanCache.key_for(kind, query, db, engine_name, extra)
+    with obs.span("plan.fingerprint", kind=kind):
+        key = PlanCache.key_for(kind, query, db, engine_name, extra)
     value = cache.get(key)
     if value is not _MISS:
+        obs.count("plancache.hits")
         return value
-    value = builder()
+    obs.count("plancache.misses")
+    with obs.span("plan.build", kind=kind, cache="miss"):
+        value = builder()
     return cache.put(key, value, pins=db)

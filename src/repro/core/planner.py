@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Set, Tuple, Union
 
+from repro import obs
 from repro.data.database import Database
 from repro.errors import UnsupportedQueryError
 from repro.logic.cq import ConjunctiveQuery
@@ -30,7 +31,8 @@ def decide(query: QueryLike, db: Database) -> bool:
     """Boolean query answering (model checking)."""
     from repro.eval.modelcheck import model_check
 
-    return model_check(query, db)
+    with obs.span("planner.decide", query=type(query).__name__):
+        return model_check(query, db)
 
 
 def enumerate_answers(query: QueryLike, db: Database, engine=None,
@@ -41,6 +43,17 @@ def enumerate_answers(query: QueryLike, db: Database, engine=None,
     and ``block_size`` the batched pipeline's amortisation block for the
     engines that support it; both default to the process-wide selection.
     """
+    if not obs.enabled():
+        yield from _enumerate_answers(query, db, engine=engine,
+                                      block_size=block_size)
+        return
+    with obs.span("planner.enumerate", query=type(query).__name__):
+        yield from _enumerate_answers(query, db, engine=engine,
+                                      block_size=block_size)
+
+
+def _enumerate_answers(query: QueryLike, db: Database, engine=None,
+                       block_size=None) -> Iterator[Tuple[Any, ...]]:
     if isinstance(query, ConjunctiveQuery):
         if query.order_comparisons():
             from repro.enumeration.disequality import FallbackDisequalityEnumerator
@@ -104,6 +117,11 @@ def answer(query: QueryLike, db: Database) -> Set[Tuple[Any, ...]]:
 
 def count(query: QueryLike, db: Database, weights=None) -> Any:
     """|phi(D)| (or its weighted sum), via the best applicable engine."""
+    with obs.span("planner.count", query=type(query).__name__):
+        return _count(query, db, weights)
+
+
+def _count(query: QueryLike, db: Database, weights=None) -> Any:
     if isinstance(query, ConjunctiveQuery):
         if not query.has_comparisons() and query.is_acyclic():
             from repro.counting.acq_count import count_acq

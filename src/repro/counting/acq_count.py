@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.data.database import Database
 from repro.counting.weighted import WeightFunction
 from repro.errors import NotAcyclicError, UnsupportedQueryError
@@ -100,8 +101,10 @@ def count_full_acyclic_join(relations: Sequence[VarRelation],
            and r.dictionary is relations[0].dictionary
            for r in relations):
         if unweighted:
-            return count_acyclic_join_columnar(relations, tree, charged,
-                                               share_vars)
+            with obs.span("count.message_passing", backend="columnar",
+                          nodes=len(relations)):
+                return count_acyclic_join_columnar(relations, tree, charged,
+                                                   share_vars)
         if isinstance(weights, WeightFunction):
             # weighted vectorized path: per-code weight gather; falls back
             # to the exact per-tuple DP when the weights aren't machine
@@ -110,45 +113,51 @@ def count_full_acyclic_join(relations: Sequence[VarRelation],
 
             table = weights.code_table(relations[0].dictionary)
             if table is not None:
-                total = count_acyclic_join_columnar(
-                    relations, tree, charged, share_vars, weight_table=table)
+                with obs.span("count.message_passing",
+                              backend="columnar_weighted",
+                              nodes=len(relations)):
+                    total = count_acyclic_join_columnar(
+                        relations, tree, charged, share_vars,
+                        weight_table=table)
                 integral_weights = bool(np.all(table == np.floor(table)))
                 if integral_weights and float(total).is_integer():
                     return int(total)
                 return total
 
     # messages[child]: key over shared-with-parent vars -> sum of weights
-    messages: Dict[int, Dict[Tuple[Any, ...], Any]] = {}
-    for node in tree.bottom_up():
-        rel = relations[node]
-        shared = share_vars[node]
-        charged_pos = [rel.position(v) for v in charged[node]]
-        shared_pos = [rel.position(v) for v in shared]
-        child_info = [
-            (messages[c],
-             [rel.position(v) for v in share_vars[c]])
-            for c in tree.children[node]
-        ]
-        msg: Dict[Tuple[Any, ...], Any] = {}
-        for t in rel:
-            value: Any = 1
-            for v_pos in charged_pos:
-                value = value * w(t[v_pos])
-            dead = False
-            for child_msg, key_pos in child_info:
-                factor = child_msg.get(tuple(t[p] for p in key_pos))
-                if factor is None:
-                    dead = True
-                    break
-                value = value * factor
-            if dead:
-                continue
-            key = tuple(t[p] for p in shared_pos)
-            msg[key] = msg.get(key, 0) + value
-        messages[node] = msg
+    with obs.span("count.message_passing", backend="tuple",
+                  nodes=len(relations)):
+        messages: Dict[int, Dict[Tuple[Any, ...], Any]] = {}
+        for node in tree.bottom_up():
+            rel = relations[node]
+            shared = share_vars[node]
+            charged_pos = [rel.position(v) for v in charged[node]]
+            shared_pos = [rel.position(v) for v in shared]
+            child_info = [
+                (messages[c],
+                 [rel.position(v) for v in share_vars[c]])
+                for c in tree.children[node]
+            ]
+            msg: Dict[Tuple[Any, ...], Any] = {}
+            for t in rel:
+                value: Any = 1
+                for v_pos in charged_pos:
+                    value = value * w(t[v_pos])
+                dead = False
+                for child_msg, key_pos in child_info:
+                    factor = child_msg.get(tuple(t[p] for p in key_pos))
+                    if factor is None:
+                        dead = True
+                        break
+                    value = value * factor
+                if dead:
+                    continue
+                key = tuple(t[p] for p in shared_pos)
+                msg[key] = msg.get(key, 0) + value
+            messages[node] = msg
 
-    root_msg = messages[tree.root]
-    return root_msg.get((), 0)
+        root_msg = messages[tree.root]
+        return root_msg.get((), 0)
 
 
 def count_quantifier_free_acyclic(cq: ConjunctiveQuery, db: Database,
@@ -219,6 +228,7 @@ def _derive_counting_join(cq: ConjunctiveQuery, db: Database, engine
         for j in cover[1:]:
             candidate_rel = candidate_rel.join(reduced[j])
         candidates = candidate_rel.project(f_vars)
+        obs.count("count.candidates", len(candidates))
         # verify each candidate against the whole component, probing the
         # already-reduced relations (no re-materialisation per candidate)
         comp_relations = [reduced[j] for j in comp.edge_indexes]
@@ -286,14 +296,15 @@ def count_acq(cq: ConjunctiveQuery, db: Database,
         raise UnsupportedQueryError("comparisons are not supported in counting")
     if not cq.is_acyclic():
         raise NotAcyclicError(f"query {cq!r} is not acyclic; use count_cq_naive")
-    derived = derive_counting_join(cq, db, engine=engine)
-    if derived is None:
-        return 0
-    if cq.is_boolean():
-        return 1  # satisfiable (derived is not None) and the only answer is ()
-    if any(len(r) == 0 for r in derived):
-        return 0
-    return count_full_acyclic_join(derived, weights)
+    with obs.span("count.acq", atoms=len(cq.atoms)):
+        derived = derive_counting_join(cq, db, engine=engine)
+        if derived is None:
+            return 0
+        if cq.is_boolean():
+            return 1  # satisfiable (derived is not None), the only answer is ()
+        if any(len(r) == 0 for r in derived):
+            return 0
+        return count_full_acyclic_join(derived, weights)
 
 
 def count_cq_naive(cq: ConjunctiveQuery, db: Database,

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.data.database import Database
 from repro.enumeration.bounded_degree import (
     Pattern,
@@ -49,7 +50,9 @@ def count_assignments(pattern: Pattern, db: Database, engine=None) -> int:
     if cq is not None:
         from repro.counting.acq_count import count_acq
 
+        obs.count("fo_count.acq_route")
         return count_acq(cq, db, engine=engine)
+    obs.count("fo_count.pattern_route")
     return count_pattern(pattern, db, distinct_head=False)
 
 
@@ -60,7 +63,9 @@ def count_answers(pattern: Pattern, db: Database, engine=None) -> int:
     if cq is not None:
         from repro.counting.acq_count import count_acq
 
+        obs.count("fo_count.acq_route")
         return count_acq(cq, db, engine=engine)
+    obs.count("fo_count.pattern_route")
     return count_pattern(pattern, db, distinct_head=True)
 
 

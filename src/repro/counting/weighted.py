@@ -70,6 +70,8 @@ class WeightFunction:
         """
         import numpy as np
 
+        from repro import obs
+
         n = len(dictionary)
         table = np.empty(n, dtype=np.float64)
         fn = self._fn
@@ -81,6 +83,7 @@ class WeightFunction:
             elif not isinstance(w, float):
                 return None
             table[code] = w
+        obs.gauge("weights.code_table_size", n)
         return table
 
 

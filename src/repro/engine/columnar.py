@@ -44,6 +44,7 @@ from typing import (
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SchemaMismatchError
 from repro.logic.terms import Constant, Variable
 
@@ -376,6 +377,7 @@ class ColumnarRelation:
     # -------------------------------------------------------------- operators
 
     def project(self, variables: Sequence[Variable]) -> "ColumnarRelation":
+        obs.count("kernel.project")
         self._flush()
         vars_out = tuple(variables)
         cols = [self._columns[self._positions[v]] for v in vars_out]
@@ -394,6 +396,7 @@ class ColumnarRelation:
     def semijoin(self, other: Any) -> "ColumnarRelation":
         """Rows of self matching some row of other on the shared
         variables; same degenerate-case semantics as VarRelation."""
+        obs.count("kernel.semijoin")
         self._flush()
         other = self._coerce(other)
         shared = [v for v in self.variables if other.has_variable(v)]
@@ -414,6 +417,7 @@ class ColumnarRelation:
 
     def join(self, other: Any) -> "ColumnarRelation":
         """Natural join via sort-merge on joint group ids."""
+        obs.count("kernel.join")
         self._flush()
         other = self._coerce(other)
         shared = [v for v in self.variables if other.has_variable(v)]
@@ -447,6 +451,7 @@ class ColumnarRelation:
     def rename(self, mapping: Dict[Variable, Variable]) -> "ColumnarRelation":
         """Rename columns along ``mapping``; rows whose merged columns
         conflict are dropped (VarRelation semantics)."""
+        obs.count("kernel.rename")
         self._flush()
         new_vars: List[Variable] = []
         source_pos: Dict[Variable, int] = {}
@@ -513,7 +518,9 @@ def encoded_relation_columns(rel, dictionary: ValueDictionary
     """
     cache = getattr(rel, "_colcache", None)
     if cache is not None and cache[0] is dictionary:
+        obs.count("kernel.encode_cache_hits")
         return cache[1], cache[2]
+    obs.count("kernel.encode_cache_misses")
     rows = rel.tuples()
     cols = _encode_rows(rows, rel.arity, dictionary)
     try:
@@ -536,7 +543,9 @@ def materialise_atom_columnar(db, atom,
             f"{atom.relation!r} has arity {rel.arity}"
         )
     variables = atom.variables()
+    obs.count("kernel.materialise_atom")
     cols, nrows = encoded_relation_columns(rel, dictionary)
+    obs.gauge("dictionary.size", len(dictionary))
     mask: Optional[np.ndarray] = None
     first_pos: Dict[Variable, int] = {}
     for pos, term in enumerate(atom.terms):

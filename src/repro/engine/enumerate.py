@@ -45,6 +45,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.engine.columnar import ColumnarRelation
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.jointree import JoinTree, cached_join_tree
@@ -197,18 +198,20 @@ class BlockIterator:
         self._fresh_vars: List[Tuple[Variable, ...]] = []
         self._probes: List[Optional[_BatchProbe]] = []
         bound: set = set()
-        for level, node in enumerate(self._order):
-            rel = relations[node]
-            pv = tuple(v for v in rel.variables if v in bound)
-            fresh = tuple(v for v in rel.variables if v not in bound)
-            bound.update(rel.variables)
-            self._probe_vars.append(pv)
-            self._fresh_vars.append(fresh)
-            if level == 0:
-                self._probes.append(None)
-            else:
-                self._probes.append(_BatchProbe(
-                    [rel.column(v) for v in pv], len(rel)))
+        with obs.span("block_iter.build_probes", levels=len(self._order),
+                      block_size=self.block_size):
+            for level, node in enumerate(self._order):
+                rel = relations[node]
+                pv = tuple(v for v in rel.variables if v in bound)
+                fresh = tuple(v for v in rel.variables if v not in bound)
+                bound.update(rel.variables)
+                self._probe_vars.append(pv)
+                self._fresh_vars.append(fresh)
+                if level == 0:
+                    self._probes.append(None)
+                else:
+                    self._probes.append(_BatchProbe(
+                        [rel.column(v) for v in pv], len(rel)))
         missing = [v for v in self._head if v not in bound]
         if missing:
             raise ValueError(
@@ -220,7 +223,23 @@ class BlockIterator:
 
     def _expand(self, level: int, batch: Dict[Variable, np.ndarray],
                 nrows: int) -> Tuple[Dict[Variable, np.ndarray], int]:
-        """Join one batch of partial assignments against level's node."""
+        """Join one batch of partial assignments against level's node.
+
+        With tracing live, each batch probe gets its own span carrying
+        the level and in/out row counts (the per-level "batch probe"
+        unit of the amortised-delay argument); disabled, the cost is one
+        attribute check per block — not per answer."""
+        if not obs.enabled():
+            return self._expand_raw(level, batch, nrows)
+        with obs.span("block.expand", level=level, rows_in=nrows) as sp:
+            obs.count("enum.batch_probes")
+            obs.count("enum.rows_probed", nrows)
+            out, total = self._expand_raw(level, batch, nrows)
+            sp.set("rows_out", total)
+            return out, total
+
+    def _expand_raw(self, level: int, batch: Dict[Variable, np.ndarray],
+                    nrows: int) -> Tuple[Dict[Variable, np.ndarray], int]:
         node = self._order[level]
         rel = self._relations[node]
         probe = self._probes[level]
@@ -262,11 +281,16 @@ class BlockIterator:
         block = self.block_size
         if not code_cols:  # zero-ary head: nrows copies of ()
             for start in range(0, nrows, block):
-                yield [()] * (min(start + block, nrows) - start)
+                size = min(start + block, nrows) - start
+                obs.count("enum.blocks")
+                obs.count("enum.answers", size)
+                yield [()] * size
             return
         for start in range(0, nrows, block):
             stop = min(start + block, nrows)
             decoded = [table[c[start:stop]].tolist() for c in code_cols]
+            obs.count("enum.blocks")
+            obs.count("enum.answers", stop - start)
             yield list(zip(*decoded))
 
     # -------------------------------------------------------------- iteration

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, List, Optional, Tuple
 
+from repro import obs
 from repro.data.database import Database
 from repro.enumeration.base import Answer, Enumerator
 from repro.errors import NotAcyclicError, UnsupportedQueryError
@@ -36,6 +37,7 @@ def _head_variable_values(cq: ConjunctiveQuery, db: Database,
     exactly the answer values of x_1.
     """
     x1 = cq.head[0]
+    obs.count("acq_linear.reductions")
     _tree, reduced = full_reducer(cq, db, engine=engine)
     for i, atom in enumerate(cq.atoms):
         if x1 in atom.variable_set():

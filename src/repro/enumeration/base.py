@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Optional, Tuple
 
+from repro import obs
 from repro.errors import EnumerationError
 
 Answer = Tuple[Any, ...]
@@ -30,6 +31,13 @@ class Enumerator:
     Iterating without calling :meth:`preprocess` first triggers it
     implicitly (convenient in tests; benchmarks call it explicitly so the
     phases can be timed separately).
+
+    Both phases are traced (:mod:`repro.obs`): preprocessing runs under
+    a ``<Class>.preprocess`` span and iteration under a
+    ``<Class>.enumerate`` span annotated with the answer count — the
+    span pair is the executable rendering of the paper's two-phase
+    protocol, so a trace shows the linear-preprocessing/constant-delay
+    split directly.  With tracing disabled both phases run unwrapped.
     """
 
     def __init__(self) -> None:
@@ -38,12 +46,28 @@ class Enumerator:
     def preprocess(self) -> None:
         """Run the preprocessing phase (idempotent)."""
         if not self._preprocessed:
-            self._preprocess()
+            if obs.enabled():
+                with obs.span(type(self).__name__ + ".preprocess"):
+                    self._preprocess()
+            else:
+                self._preprocess()
             self._preprocessed = True
 
     def __iter__(self) -> Iterator[Answer]:
         self.preprocess()
+        if obs.enabled():
+            return self._traced_enumerate()
         return self._enumerate()
+
+    def _traced_enumerate(self) -> Iterator[Answer]:
+        """Enumeration wrapped in a span; the span closes when the
+        stream is exhausted or the consumer abandons the generator."""
+        with obs.span(type(self).__name__ + ".enumerate") as sp:
+            n = 0
+            for answer in self._enumerate():
+                n += 1
+                yield answer
+            sp.set("answers", n)
 
     # -- to implement ---------------------------------------------------------
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro import obs
 from repro.data.database import Database
 from repro.enumeration.base import Answer, Enumerator
 from repro.enumeration.full_acyclic import FullJoinEnumerator
@@ -58,8 +59,10 @@ def derive_free_join(cq: ConjunctiveQuery, db: Database,
         if atom.variable_set() <= free:
             derived.append(reduced[i])
 
+    components = s_components(h, free)
+    obs.count("free_connex.s_components", len(components))
     # one projected relation per S-component
-    for comp in s_components(h, free):
+    for comp in components:
         f_vars = tuple(sorted(comp.s_vertices, key=lambda v: v.name))
         if not f_vars:
             # a fully quantified component: contributes satisfiability only,
@@ -126,7 +129,8 @@ class FreeConnexEnumerator(Enumerator):
 
     def _build_plan(self):
         cq, db = self.cq, self.db
-        derived = derive_free_join(cq, db, engine=self.engine)
+        with obs.span("free_connex.derive_join"):
+            derived = derive_free_join(cq, db, engine=self.engine)
         if cq.is_boolean():
             # satisfiable iff no derived relation is empty (full reduction
             # has already propagated emptiness everywhere)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import NotAcyclicError
 from repro.engine.enumerate import BlockIterator, batchable, resolve_block_size
 from repro.enumeration.base import Answer, Enumerator
@@ -37,13 +38,14 @@ def reduce_relations(tree: JoinTree, relations: List[VarRelation]) -> List[VarRe
     """Full reducer on bare relations along a join tree (node i uses
     relations[i]); returns the reduced list."""
     relations = list(relations)
-    for node in tree.bottom_up():
-        parent = tree.parent[node]
-        if parent is not None:
-            relations[parent] = relations[parent].semijoin(relations[node])
-    for node in tree.top_down():
-        for child in tree.children[node]:
-            relations[child] = relations[child].semijoin(relations[node])
+    with obs.span("full_join.reduce", nodes=len(relations)):
+        for node in tree.bottom_up():
+            parent = tree.parent[node]
+            if parent is not None:
+                relations[parent] = relations[parent].semijoin(relations[node])
+        for node in tree.top_down():
+            for child in tree.children[node]:
+                relations[child] = relations[child].semijoin(relations[node])
     return relations
 
 
@@ -128,8 +130,9 @@ class FullJoinEnumerator(Enumerator):
                     v for v in self._relations[node].variables if v in parent_vars
                 ))
         # warm the probe indexes during preprocessing, not mid-enumeration
-        for node, pv in zip(self._order, self._probe_vars):
-            self._relations[node].index_on(pv)
+        with obs.span("full_join.index_build", nodes=len(self._order)):
+            for node, pv in zip(self._order, self._probe_vars):
+                self._relations[node].index_on(pv)
 
     # ------------------------------------------------------------- enumerate
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.enumeration.base import Answer, Enumerator
@@ -59,6 +60,16 @@ def _materialise_provided(db: Database, ucq: UnionOfConjunctiveQueries,
     recursive clause); ``db`` must then already hold that extension's
     fresh relations.
     """
+    with obs.span("ucq.materialise_provided", provider=prov.provider_index):
+        return _materialise_provided_impl(
+            db, ucq, prov, provider_query=provider_query, engine=engine,
+            block_size=block_size)
+
+
+def _materialise_provided_impl(db: Database, ucq: UnionOfConjunctiveQueries,
+                               prov: ProvidedSet,
+                               provider_query=None, engine=None,
+                               block_size: Optional[int] = None) -> Relation:
     provider = provider_query if provider_query is not None \
         else ucq.disjuncts[prov.provider_index]
     hom = prov.hom_dict()
@@ -149,6 +160,8 @@ class UCQEnumerator(Enumerator):
                 if tup not in seen:
                     seen.add(tup)
                     yield tup
+                else:
+                    obs.count("ucq.duplicates_skipped")
             streams = alive
 
 

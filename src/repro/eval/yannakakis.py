@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
+from repro import obs
 from repro.data.database import Database
 from repro.errors import NotAcyclicError
 from repro.eval.join import VarRelation, atom_to_varrelation
@@ -46,7 +47,23 @@ def materialise_atoms(cq: ConjunctiveQuery, db: Database,
     """One relation per atom (constants/repeated variables resolved),
     in the selected backend's representation."""
     eng = _engine(engine)
-    return [eng.materialise_atom(db, atom) for atom in cq.atoms]
+    with obs.span("yannakakis.materialise_atoms", atoms=len(cq.atoms),
+                  engine=eng.name):
+        return [eng.materialise_atom(db, atom) for atom in cq.atoms]
+
+
+def _traced_semijoin(left: VarRelation, right: VarRelation, phase: str,
+                     node: int) -> VarRelation:
+    """One semijoin pass step, with input/output cardinalities recorded
+    on the span when tracing is live (plain call otherwise)."""
+    if not obs.enabled():
+        return left.semijoin(right)
+    with obs.span("yannakakis.semijoin", phase=phase, node=node) as sp:
+        sp.set("in_left", len(left))
+        sp.set("in_right", len(right))
+        out = left.semijoin(right)
+        sp.set("out", len(out))
+        return out
 
 
 def full_reducer(cq: ConjunctiveQuery, db: Database,
@@ -85,15 +102,18 @@ def _full_reduce(cq: ConjunctiveQuery, db: Database, tree: JoinTree,
                  relations: List[VarRelation]
                  ) -> Tuple[JoinTree, List[VarRelation]]:
     relations = list(relations)
-    # bottom-up: parent := parent semijoin child
-    for node in tree.bottom_up():
-        parent = tree.parent[node]
-        if parent is not None:
-            relations[parent] = relations[parent].semijoin(relations[node])
-    # top-down: child := child semijoin parent
-    for node in tree.top_down():
-        for child in tree.children[node]:
-            relations[child] = relations[child].semijoin(relations[node])
+    with obs.span("yannakakis.full_reduce", nodes=len(relations)):
+        # bottom-up: parent := parent semijoin child
+        for node in tree.bottom_up():
+            parent = tree.parent[node]
+            if parent is not None:
+                relations[parent] = _traced_semijoin(
+                    relations[parent], relations[node], "bottom_up", parent)
+        # top-down: child := child semijoin parent
+        for node in tree.top_down():
+            for child in tree.children[node]:
+                relations[child] = _traced_semijoin(
+                    relations[child], relations[node], "top_down", child)
     return tree, relations
 
 
@@ -109,7 +129,8 @@ def yannakakis_boolean(cq: ConjunctiveQuery, db: Database,
     for node in tree.bottom_up():
         parent = tree.parent[node]
         if parent is not None:
-            relations[parent] = relations[parent].semijoin(relations[node])
+            relations[parent] = _traced_semijoin(
+                relations[parent], relations[node], "boolean_bottom_up", parent)
             if len(relations[parent]) == 0:
                 return False
     return all(len(relations[n]) > 0 for n in tree.nodes())
@@ -138,15 +159,16 @@ def yannakakis(cq: ConjunctiveQuery, db: Database,
             above[node] = above[parent] | tree.hypergraph.edges[parent]
 
     joined: Dict[int, VarRelation] = {}
-    for node in tree.bottom_up():
-        acc = relations[node]
-        for child in tree.children[node]:
-            acc = acc.join(joined[child])
-        keep = [
-            v for v in acc.variables
-            if v in free or v in above[node]
-        ]
-        joined[node] = acc.project(keep)
+    with obs.span("yannakakis.join_project", nodes=len(order)):
+        for node in tree.bottom_up():
+            acc = relations[node]
+            for child in tree.children[node]:
+                acc = acc.join(joined[child])
+            keep = [
+                v for v in acc.variables
+                if v in free or v in above[node]
+            ]
+            joined[node] = acc.project(keep)
 
     result = joined[tree.root]
     # normalise column order to the head with one projection (head

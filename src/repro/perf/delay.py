@@ -20,6 +20,7 @@ clamped at 0.
 from __future__ import annotations
 
 import statistics
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
@@ -28,8 +29,11 @@ _NS = 1e-9
 
 # measured cost, in ns, of one perf_counter_ns() call pair (the gap two
 # back-to-back calls report when nothing happens between them); None
-# until first calibration
+# until first calibration.  The lock serialises calibration so threads
+# racing the lazy global (e.g. concurrent delay measurements) never see
+# a torn or doubly-run calibration.
 _TIMER_OVERHEAD_NS: Optional[int] = None
+_TIMER_LOCK = threading.Lock()
 
 
 def timer_overhead_ns(recalibrate: bool = False) -> int:
@@ -37,19 +41,26 @@ def timer_overhead_ns(recalibrate: bool = False) -> int:
 
     Median of a few hundred back-to-back ``perf_counter_ns`` gaps — the
     median is robust against scheduler preemptions landing inside the
-    calibration loop.
+    calibration loop.  Thread-safe: the first caller (or a recalibrating
+    one) runs the loop under a lock, everyone else reads the published
+    value.  Traces record this floor as the ``timer_overhead_ns`` gauge
+    in every metrics dump (:func:`repro.obs.metrics`).
     """
     global _TIMER_OVERHEAD_NS
-    if _TIMER_OVERHEAD_NS is None or recalibrate:
-        clock = time.perf_counter_ns
-        samples: List[int] = []
-        last = clock()
-        for _ in range(301):
-            now = clock()
-            samples.append(now - last)
-            last = now
-        _TIMER_OVERHEAD_NS = int(statistics.median(samples))
-    return _TIMER_OVERHEAD_NS
+    value = _TIMER_OVERHEAD_NS
+    if value is not None and not recalibrate:
+        return value
+    with _TIMER_LOCK:
+        if _TIMER_OVERHEAD_NS is None or recalibrate:
+            clock = time.perf_counter_ns
+            samples: List[int] = []
+            last = clock()
+            for _ in range(301):
+                now = clock()
+                samples.append(now - last)
+                last = now
+            _TIMER_OVERHEAD_NS = int(statistics.median(samples))
+        return _TIMER_OVERHEAD_NS
 
 
 @dataclass

@@ -89,3 +89,99 @@ def test_doctor_command_core(capsys):
 def test_doctor_on_ncq(capsys):
     assert main(["doctor", "Q() :- not R(x, y)"]) == 0
     assert "NCQ" in capsys.readouterr().out
+
+
+def test_doctor_prints_plan_cache_stats(capsys):
+    assert main(["doctor", "Q(x) :- R(x, z), S(z, y)"]) == 0
+    out = capsys.readouterr().out
+    assert "plan cache:" in out and "evictions" in out
+
+
+def test_explain_command(capsys):
+    assert main(["explain", "Q(x) :- R(x, z), S(z, y)",
+                 "--size", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "span tree" in out
+    assert "FreeConnexEnumerator.preprocess" in out
+    assert "FreeConnexEnumerator.enumerate" in out
+    assert "plancache.misses" in out
+    assert "plan cache:" in out
+    assert "answers:" in out
+
+
+def test_explain_count_mode(capsys):
+    assert main(["explain", "Q(x) :- R(x, z), S(z, y)",
+                 "--size", "200", "--count"]) == 0
+    out = capsys.readouterr().out
+    assert "count:" in out
+    assert "planner.count" in out
+
+
+def test_explain_csv_data(tables, capsys):
+    assert main(["explain", "Q(x) :- R(x, z), S(z, y)",
+                 "--data", tables]) == 0
+    out = capsys.readouterr().out
+    assert "answers: 2" in out
+
+
+def test_explain_trace_and_metrics(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "t.json"
+    assert main(["explain", "Q(x) :- R(x, z), S(z, y)", "--size", "200",
+                 "--trace", str(trace_path), "--metrics"]) == 0
+    err = capsys.readouterr().err
+    doc = json.loads(trace_path.read_text())
+    assert doc["traceEvents"]
+    metrics = json.loads(err[err.index("{"):])
+    assert "plan_cache" in metrics and "counters" in metrics
+
+
+def test_run_trace_and_metrics(tables, tmp_path, capsys):
+    import json
+
+    from repro import obs
+
+    trace_path = tmp_path / "run.json"
+    assert main(["run", "Q(x) :- R(x, z), S(z, y)", "--data", tables,
+                 "--trace", str(trace_path), "--metrics"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out.splitlines()  # answers still on stdout
+    doc = json.loads(trace_path.read_text())
+    assert any(e.get("name") == "planner.enumerate"
+               for e in doc["traceEvents"])
+    metrics = json.loads(captured.err[captured.err.index("{"):])
+    assert "counters" in metrics
+    assert not obs.enabled()  # tracer restored after the command
+
+
+def test_bench_delay_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "bd.json"
+    assert main(["bench-delay", "--sizes", "200", "400",
+                 "--json", str(path)]) == 0
+    doc = json.loads(path.read_text())
+    assert doc["benchmark"] == "bench-delay"
+    assert len(doc["rows"]) == 2
+    row = doc["rows"][0]["free_connex"]
+    for key in ("preprocessing_seconds", "outputs", "delay_p50_seconds",
+                "delay_p95_seconds", "delay_p99_seconds"):
+        assert key in row
+    assert set(doc["slopes"]) == {"free_connex_delay_p50",
+                                  "free_connex_preprocessing",
+                                  "acq_linear_delay_mean"}
+
+
+def test_bench_core_json(tmp_path, capsys):
+    import json
+
+    out_rows = tmp_path / "rows.json"
+    path = tmp_path / "bc.json"
+    assert main(["bench-core", "--sizes", "500", "1000", "--repeats", "1",
+                 "--output", str(out_rows), "--json", str(path)]) == 0
+    doc = json.loads(path.read_text())
+    assert doc["benchmark"] == "bench-core"
+    assert doc["rows"] and doc["slopes"]
+    for slope in doc["slopes"]:
+        assert {"op", "backend", "loglog_slope"} <= set(slope)

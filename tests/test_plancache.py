@@ -49,11 +49,11 @@ def test_hit_miss_accounting():
     assert cache.get(key) is _MISS
     cache.put(key, "plan")
     assert cache.get(key) == "plan"
-    assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1,
-                             "maxsize": 4}
+    assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0,
+                             "entries": 1, "maxsize": 4}
     cache.clear()
-    assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0,
-                             "maxsize": 4}
+    assert cache.stats() == {"hits": 0, "misses": 0, "evictions": 0,
+                             "entries": 0, "maxsize": 4}
 
 
 def test_none_is_a_cacheable_value():
