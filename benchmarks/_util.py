@@ -5,18 +5,29 @@ Each benchmark regenerates one table/figure-equivalent of the paper
 predicted growth *shape*, records the measured rows under
 ``benchmarks/results/`` (the numbers EXPERIMENTS.md quotes), and times a
 representative operation with pytest-benchmark.
+
+Structured measurements go through :func:`record_case`, the single
+recorder of the complexity observatory: every case becomes one canonical
+``repro-bench/1`` record (points, provenance, fitted log-log slope,
+verdict), appended to ``benchmarks/history/<suite>.jsonl`` and merged
+into the ``BENCH_<suite>.json`` snapshot at the repo root.  Schema-less
+payloads are rejected at the door — there is no ad-hoc JSON path left.
 """
 
 from __future__ import annotations
 
-import json
+import datetime
 import os
 import time
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-CORE_RESULTS = os.path.join(REPO_ROOT, "BENCH_core.json")
+HISTORY_DIR = os.path.join(os.path.dirname(__file__), "history")
+
+# one timestamp per benchmark process: every case recorded by the same
+# run carries the same provenance stamp, so history rows group by run
+_RUN_TIMESTAMP: Optional[str] = None
 
 
 def record(name: str, text: str) -> str:
@@ -28,29 +39,35 @@ def record(name: str, text: str) -> str:
     return path
 
 
-def record_core(op: str, n: int, backend: str, seconds: float,
-                path: str = CORE_RESULTS) -> str:
-    """Merge one kernel measurement into the consolidated ``BENCH_core.json``
-    at the repo root (the file `python -m repro bench-core` also writes).
+def run_timestamp() -> str:
+    global _RUN_TIMESTAMP
+    if _RUN_TIMESTAMP is None:
+        _RUN_TIMESTAMP = datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds")
+    return _RUN_TIMESTAMP
 
-    Rows are keyed on (op, n, backend); re-recording replaces the old row,
-    so repeated benchmark runs keep one current number per configuration.
+
+def record_case(suite: str, case: str, metric: str,
+                points: Sequence[Dict[str, object]],
+                expectation: Optional[str] = None,
+                history_dir: str = HISTORY_DIR,
+                snapshot_dir: str = REPO_ROOT) -> dict:
+    """Record one benchmark case under the canonical observatory schema.
+
+    ``points`` are ``{"n": size, "value": measurement, ...extras}`` rows;
+    the observatory fits the log-log slope, derives the verdict, stamps
+    provenance, appends to ``<history_dir>/<suite>.jsonl`` and refreshes
+    ``<snapshot_dir>/BENCH_<suite>.json``.  Raises
+    :class:`repro.obs.observatory.SchemaError` on malformed payloads.
     """
-    rows: List[dict] = []
-    if os.path.exists(path):
-        try:
-            with open(path) as fh:
-                rows = json.load(fh)
-        except ValueError:
-            rows = []
-    rows = [r for r in rows
-            if (r.get("op"), r.get("n"), r.get("backend")) != (op, n, backend)]
-    rows.append({"op": op, "n": n, "backend": backend, "seconds": seconds})
-    rows.sort(key=lambda r: (r["op"], r["n"], r["backend"]))
-    with open(path, "w") as fh:
-        json.dump(rows, fh, indent=2)
-        fh.write("\n")
-    return path
+    from repro.obs.observatory import Observatory, collect_provenance, \
+        make_record, merge_snapshot
+
+    rec = make_record(suite, case, metric, points, expectation=expectation,
+                      provenance=collect_provenance(run_timestamp()))
+    Observatory(history_dir).append(rec)
+    merge_snapshot(os.path.join(snapshot_dir, f"BENCH_{suite}.json"), rec)
+    return rec
 
 
 def timed(fn: Callable[[], object]) -> float:

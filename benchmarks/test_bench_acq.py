@@ -8,7 +8,7 @@
 
 import time
 
-from _util import format_rows, record, timed
+from _util import format_rows, record, record_case, timed
 
 from repro.data import generators
 from repro.enumeration.acq_linear import LinearDelayACQEnumerator
@@ -19,7 +19,9 @@ from repro.logic.parser import parse_cq
 from repro.perf.delay import measure_enumerator
 from repro.perf.scaling import loglog_slope
 
-SIZES = [1000, 2000, 4000, 8000]
+# >1 decade of ||D||: the observatory's anti-flake rule refuses a
+# verdict on narrower sweeps (see repro.obs.fitting)
+SIZES = [1000, 2000, 4000, 8000, 16000]
 
 
 def make_db(n, seed=7):
@@ -43,6 +45,9 @@ def test_t42_yannakakis_output_sensitive(benchmark):
         per_tuple.append(elapsed / max(len(out), 1))
     text = format_rows(["tuples", "||D||", "|out|", "total ms", "us/tuple"], rows)
     record("t42_yannakakis", "Theorem 4.2 — Yannakakis output-sensitive eval\n" + text)
+    record_case("acq", "t42_yannakakis/per_tuple", "per_tuple_seconds",
+                [{"n": r[1], "value": v, "outputs": r[2]}
+                 for r, v in zip(rows, per_tuple)])
     # per-tuple cost must not grow linearly with ||D||
     slope = loglog_slope([r[1] for r in rows], per_tuple)
     assert slope < 0.75, text
@@ -67,6 +72,9 @@ def test_t43_linear_delay_grows(benchmark):
         means.append(profile.mean_delay)
     text = format_rows(["tuples", "||D||", "outputs", "mean us", "max us"], rows)
     record("t43_linear_delay", "Theorem 4.3 — Algorithm 2 linear delay\n" + text)
+    record_case("acq", "t43_alg2/delay", "delay_mean_seconds",
+                [{"n": r[1], "value": v, "outputs": r[2]}
+                 for r, v in zip(rows, means)])
     assert means[-1] > 1.5 * means[0], text  # delay visibly grows over 8x data
     db = make_db(2000)
     benchmark(lambda: list(LinearDelayACQEnumerator(q, db)))
@@ -89,6 +97,10 @@ def test_t46_constant_delay_flat(benchmark):
     text = format_rows(
         ["tuples", "||D||", "outputs", "pre ms", "median us", "p95 us"], rows)
     record("t46_constant_delay", "Theorem 4.6 — free-connex constant delay\n" + text)
+    record_case("acq", "t46_free_connex/delay_p95", "delay_p95_seconds",
+                [{"n": r[1], "value": v, "outputs": r[2]}
+                 for r, v in zip(rows, p95s)],
+                expectation="constant-delay")
     slope = loglog_slope([r[1] for r in rows], p95s)
     assert slope < 0.4, text  # flat
     db = make_db(2000)
@@ -111,6 +123,10 @@ def test_t420_disequality_constant_delay(benchmark):
         p95s.append(profile.percentile(0.95))
     text = format_rows(["tuples", "||D||", "outputs", "median us", "p95 us"], rows)
     record("t420_disequality", "Theorem 4.20 — ACQ!= constant delay\n" + text)
+    record_case("acq", "t420_disequality/delay_p95", "delay_p95_seconds",
+                [{"n": r[1], "value": v, "outputs": r[2]}
+                 for r, v in zip(rows, p95s)],
+                expectation="constant-delay")
     slope = loglog_slope([r[1] for r in rows], p95s)
     assert slope < 0.4, text
     db = make_db(2000)

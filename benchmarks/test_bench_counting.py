@@ -8,7 +8,7 @@
   match Ryser's formula (the #P-hardness mechanism of Theorem 4.22).
 """
 
-from _util import format_rows, record, timed
+from _util import format_rows, record, record_case, timed
 
 from repro.counting.acq_count import (
     count_acq,
@@ -36,7 +36,8 @@ def test_t421_quantifier_free_linear(benchmark):
     w = WeightFunction(lambda v: (v % 3) + 1)
     rows = []
     times, sizes = [], []
-    for n in (2000, 4000, 8000, 16000):
+    # >1 decade of n so the observatory can pass a verdict
+    for n in (2000, 4000, 8000, 16000, 32000):
         db = make_db(n)
         count = count_quantifier_free_acyclic(q, db)
         weighted = count_quantifier_free_acyclic(q, db, w)
@@ -49,6 +50,10 @@ def test_t421_quantifier_free_linear(benchmark):
     text = format_rows(["tuples", "||D||", "count", "weighted", "ms"], rows)
     record("t421_qf_counting",
            f"Theorem 4.21 — #ACQ^0 linear counting (slope {slope:.2f})\n" + text)
+    record_case("counting", "t421_qf_count/total", "total_seconds",
+                [{"n": size, "value": v, "count": r[2]}
+                 for size, v, r in zip(sizes, times, rows)],
+                expectation="linear")
     assert slope < 1.4, text
     db = make_db(4000)
     assert count_quantifier_free_acyclic(q, db) == count_cq_naive(q, db)
@@ -104,6 +109,10 @@ def test_t428_scaling_in_database(benchmark):
     record("t428_scaling",
            f"Theorem 4.28 — star size 1 slope {s1:.2f} vs star size 2 "
            f"slope {s2:.2f}\n" + text)
+    record_case("counting", "t428_star1/total", "total_seconds",
+                [{"n": size, "value": v} for size, v in zip(sizes, t1s)])
+    record_case("counting", "t428_star2/total", "total_seconds",
+                [{"n": size, "value": v} for size, v in zip(sizes, t2s)])
     assert s2 > s1, text
     db = make_db(2000)
     benchmark(lambda: count_acq(q1, db))

@@ -10,15 +10,15 @@ Three claims, matching the acceptance criteria:
 * batching keeps the free-connex delay *flat* in ||D|| — amortisation
   changes the constant, not the growth shape.
 
-Every measured row is merged into ``BENCH_enum.json`` at the repo root
-(keyed on (experiment, mode, n); re-runs replace rows in place).
+Every measured case is recorded under the canonical observatory schema
+via :func:`_util.record_case` (suite ``enum``): appended to
+``benchmarks/history/enum.jsonl`` and merged into ``BENCH_enum.json``
+at the repo root.
 """
 
-import json
-import os
 import time
 
-from _util import REPO_ROOT, format_rows, record
+from _util import format_rows, record, record_case
 
 from repro.core.plancache import clear_plan_cache, plan_cache_disabled
 from repro.data import generators
@@ -27,39 +27,18 @@ from repro.logic.parser import parse_cq
 from repro.perf.delay import measure_enumerator
 from repro.perf.scaling import loglog_slope
 
-ENUM_RESULTS = os.path.join(REPO_ROOT, "BENCH_enum.json")
-
 # Theorem 4.6 workloads: quantifier-free (enumeration-heavy) and
 # projected (the paper's Q(x) example) free-connex queries
 FULL_QUERY = "Q(x, z, y) :- R(x, z), S(z, y)"
 PROJ_QUERY = "Q(x) :- R(x, z), S(z, y)"
 N_BIG = 100_000
-SHAPE_SIZES = [25_000, 50_000, 100_000]
+# >1 decade of n so the observatory can pass a shape verdict
+SHAPE_SIZES = [8_000, 25_000, 50_000, 100_000]
 
 
 def make_db(n, seed=7):
     return generators.random_database({"R": 2, "S": 2}, max(4, n // 4), n,
                                       seed=seed)
-
-
-def record_enum(experiment, mode, n, **fields):
-    """Merge one row into BENCH_enum.json (keyed on experiment/mode/n)."""
-    rows = []
-    if os.path.exists(ENUM_RESULTS):
-        try:
-            with open(ENUM_RESULTS) as fh:
-                rows = json.load(fh)
-        except ValueError:
-            rows = []
-    rows = [r for r in rows
-            if (r.get("experiment"), r.get("mode"), r.get("n"))
-            != (experiment, mode, n)]
-    rows.append({"experiment": experiment, "mode": mode, "n": n, **fields})
-    rows.sort(key=lambda r: (r["experiment"], r["n"], r["mode"]))
-    with open(ENUM_RESULTS, "w") as fh:
-        json.dump(rows, fh, indent=2)
-        fh.write("\n")
-    return ENUM_RESULTS
 
 
 def _measure_mode(q, db, engine, block_size, max_outputs):
@@ -97,11 +76,8 @@ def test_batched_throughput_speedup(benchmark):
                                 ("columnar-batched", "columnar", None)):
         profile, per_s = _measure_mode(q, db, engine, block, max_outputs)
         throughput[mode] = per_s
-        record_enum("throughput", mode, N_BIG,
-                    outputs=profile.n_outputs,
-                    median_delay_us=profile.median_delay * 1e6,
-                    mean_delay_us=profile.mean_delay * 1e6,
-                    throughput_per_s=per_s)
+        record_case("enum", f"throughput/{mode}", "throughput_per_s",
+                    [{"n": N_BIG, "value": per_s, **profile.summary()}])
         rows.append((mode, profile.n_outputs,
                      profile.median_delay * 1e6,
                      profile.mean_delay * 1e6, per_s / 1e6))
@@ -111,7 +87,8 @@ def test_batched_throughput_speedup(benchmark):
            "Batched columnar vs tuple enumeration (Theorem 4.6 workload)\n"
            + text)
     ratio = throughput["columnar-batched"] / max(throughput["tuple"], 1e-9)
-    record_enum("throughput", "speedup", N_BIG, ratio=ratio)
+    record_case("enum", "throughput/speedup", "ratio",
+                [{"n": N_BIG, "value": ratio}])
     assert ratio >= 3.0, text
     benchmark(lambda: sum(1 for _ in FreeConnexEnumerator(
         q, db, engine="columnar")))
@@ -135,10 +112,12 @@ def test_plan_cache_cold_vs_warm(benchmark):
             FreeConnexEnumerator(q, db, engine=engine),
             max_outputs=1).preprocessing_seconds for _ in range(3))
         ratios[engine] = cold / max(warm, 1e-9)
-        record_enum("plan_cache", f"{engine}-cold", N_BIG,
-                    preprocessing_ms=cold * 1e3)
-        record_enum("plan_cache", f"{engine}-warm", N_BIG,
-                    preprocessing_ms=warm * 1e3, speedup=ratios[engine])
+        record_case("enum", f"plan_cache/{engine}-cold",
+                    "preprocessing_seconds", [{"n": N_BIG, "value": cold}])
+        record_case("enum", f"plan_cache/{engine}-warm",
+                    "preprocessing_seconds",
+                    [{"n": N_BIG, "value": warm,
+                      "speedup": ratios[engine]}])
         rows.append((engine, cold * 1e3, warm * 1e3, ratios[engine]))
     text = format_rows(["engine", "cold ms", "warm ms", "speedup"], rows)
     record("enum_pipeline_plan_cache",
@@ -158,6 +137,7 @@ def test_batched_delay_stays_flat(benchmark):
     q = parse_cq(PROJ_QUERY)
     rows = []
     means = []
+    points = []
     for n in SHAPE_SIZES:
         db = make_db(n)
         clear_plan_cache()
@@ -168,16 +148,17 @@ def test_batched_delay_stays_flat(benchmark):
                      profile.median_delay * 1e6,
                      profile.mean_delay * 1e6))
         means.append(profile.mean_delay)
-        record_enum("flat_delay", "columnar-batched", n,
-                    outputs=profile.n_outputs,
-                    median_delay_us=profile.median_delay * 1e6,
-                    mean_delay_us=profile.mean_delay * 1e6)
+        points.append({"n": n, "value": profile.mean_delay,
+                       **profile.summary()})
     text = format_rows(
         ["tuples", "||D||", "outputs", "median us", "mean us"], rows)
     record("enum_pipeline_flat_delay",
            "Batched free-connex delay vs ||D|| (expect flat)\n" + text)
+    # the stored record re-fits the slope from the points; no ad-hoc row
+    record_case("enum", "flat_delay/columnar-batched",
+                "delay_mean_seconds", points,
+                expectation="constant-delay")
     slope = loglog_slope([float(n) for n in SHAPE_SIZES], means)
-    record_enum("flat_delay", "slope", SHAPE_SIZES[-1], loglog_slope=slope)
     assert slope < 0.4, text
     db = make_db(SHAPE_SIZES[0])
     benchmark(lambda: sum(1 for _ in FreeConnexEnumerator(

@@ -12,7 +12,7 @@
 
 import time
 
-from _util import format_rows, record, timed
+from _util import format_rows, record, record_case, timed
 
 from repro.data import generators
 from repro.enumeration.acq_linear import LinearDelayACQEnumerator
@@ -58,6 +58,14 @@ def test_t48_bmm_reduction_crossover(benchmark):
     text = format_rows(
         ["n", "||D||", "phi_4.7 ms", "free-connex ms", "numpy BMM ms"], rows)
     record("t48_bmm", "Theorem 4.8 — non-free-connex ACQ computes BMM\n" + text)
+    record_case("lower_bounds", "t48_bmm/phi47", "total_seconds",
+                [{"n": size, "value": r[2] / 1e3}
+                 for size, r in zip(sizes, rows)],
+                expectation="superlinear")
+    record_case("lower_bounds", "t48_bmm/free_connex_control",
+                "total_seconds",
+                [{"n": size, "value": r[3] / 1e3}
+                 for size, r in zip(sizes, rows)])
     # the hard query's per-unit cost grows; the easy one's does not
     assert loglog_slope(sizes, hard_per_unit) > \
         loglog_slope(sizes, easy_per_unit) + 0.2, text
@@ -90,6 +98,15 @@ def test_t49_cyclic_vs_acyclic(benchmark):
         sizes.append(db.size())
     text = format_rows(["n", "||D||", "triangle ms", "acyclic path ms"], rows)
     record("t49_cyclic", "Theorem 4.9 — cyclic query cost vs acyclic\n" + text)
+    record_case("lower_bounds", "t49_triangle/naive", "total_seconds",
+                [{"n": size, "value": r[2] / 1e3}
+                 for size, r in zip(sizes, rows)],
+                expectation="superlinear")
+    record_case("lower_bounds", "t49_path/yannakakis_boolean",
+                "total_seconds",
+                [{"n": size, "value": r[3] / 1e3}
+                 for size, r in zip(sizes, rows)],
+                expectation="linear")
     assert loglog_slope(sizes, tri_pu) > loglog_slope(sizes, path_pu) + 0.15, text
     db = generators.graph_database(
         [(("a", i), ("b", j)) for i in range(60) for j in range(60)
@@ -119,6 +136,11 @@ def test_t415_clique_parameter_explosion(benchmark):
     text = format_rows(["k", "atoms", "||D||", "has clique", "decide ms"], rows)
     record("t415_clique_lt",
            "Theorem 4.15 — k-clique via ACQ<: time explodes in k\n" + text)
+    # the sweep axis is the W[1] parameter k, carried per point; ``n`` is
+    # the instance size so the slope captures time-vs-||D|| blow-up
+    record_case("lower_bounds", "t415_clique/decide", "total_seconds",
+                [{"n": r[2], "value": v, "k": r[0]}
+                 for r, v in zip(rows, times)])
     assert times[-1] > 3 * times[0], text
     query, db = clique_acq_lt_instance(edges, n, 3)
     benchmark(lambda: cq_is_satisfiable_naive(query, db))

@@ -9,7 +9,7 @@
 
 import sys
 
-from _util import format_rows, record, timed
+from _util import format_rows, record, record_case, timed
 
 from repro.data import generators
 from repro.mso.courcelle import count_solutions, decide, optimise
@@ -21,7 +21,8 @@ from repro.perf.scaling import loglog_slope
 
 sys.setrecursionlimit(40000)  # nice decompositions of long paths are deep
 
-SIZES = [100, 200, 400, 800]
+# >1 decade of n so the observatory can pass a verdict
+SIZES = [100, 200, 400, 800, 1600]
 
 
 def bounded_tw_graph(n, seed=2):
@@ -54,6 +55,10 @@ def test_t311_linear_decision_and_counting(benchmark):
            f"counts themselves have Theta(n) bits, so exact counting cannot\n"
            f"be linear on real hardware (the paper's RAM model charges unit\n"
            f"cost per arithmetic op) — see EXPERIMENTS.md.\n" + text)
+    record_case("mso", "t311_courcelle/decide", "total_seconds",
+                [{"n": size, "value": v}
+                 for size, v in zip(sizes, times)],
+                expectation="linear")
     assert slope < 1.6, text
     graph = bounded_tw_graph(400)
     benchmark(lambda: decide(graph, ColoringProperty(3)))
@@ -79,6 +84,9 @@ def test_t312_enumeration_linear_in_output(benchmark):
     record("t312_enumeration",
            f"Theorem 3.12 — MSO enumeration, delay linear in output size "
            f"(delay-vs-n slope {slope:.2f}; ~1 = linear in |s|)\n" + text)
+    record_case("mso", "t312_enumeration/delay", "delay_p50_seconds",
+                [{"n": size, "value": v, "outputs": r[1]}
+                 for size, v, r in zip(sizes, delays, rows)])
     assert 0.3 < slope < 2.0, text  # grows with n, roughly linearly
     graph = bounded_tw_graph(60, seed=4)
 

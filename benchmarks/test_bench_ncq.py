@@ -2,7 +2,7 @@
 Davis-Putnam; cost comparisons against bad orders and against the
 non-beta-acyclic fallback."""
 
-from _util import format_rows, record, timed
+from _util import format_rows, record, record_case, timed
 
 from repro.csp.cnf import ncq_to_clauses
 from repro.csp.davis_putnam import DPStats, davis_putnam
@@ -28,7 +28,8 @@ def test_t431_quasi_linear_scaling(benchmark):
     """Deciding growing beta-acyclic chains stays near-linear."""
     rows = []
     times, sizes = [], []
-    for n in (200, 400, 800, 1600):
+    # >1 decade of n so the observatory can pass a verdict
+    for n in (200, 400, 800, 1600, 3200):
         ncq, db = chain_instance(n)
         assert ncq.is_beta_acyclic()
         elapsed = min(timed(lambda: decide_ncq(ncq, db)) for _ in range(3))
@@ -40,6 +41,9 @@ def test_t431_quasi_linear_scaling(benchmark):
     record("t431_scaling",
            f"Theorem 4.31 — beta-acyclic NCQ decision (slope {slope:.2f})\n"
            + text)
+    record_case("ncq", "t431_beta_acyclic/decide", "total_seconds",
+                [{"n": size, "value": v}
+                 for size, v in zip(sizes, times)])
     assert slope < 1.8, text  # quasi-linear (n log^2 n-ish), not quadratic+
     ncq, db = chain_instance(800)
     benchmark(lambda: decide_ncq(ncq, db))

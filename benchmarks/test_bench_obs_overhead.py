@@ -15,23 +15,20 @@ the code), so the guard is computed from measurables:
   ``obs.span``/``obs.count``, microbenchmarked directly.
 
 ``events * null_cost`` bounds the disabled-path spend inside ``wall``;
-the guard asserts it is below 5%.  Results merge into
-``BENCH_obs.json`` at the repo root.
+the guard asserts it is below 5%.  Results are recorded as canonical
+observatory cases (suite ``obs``) via :func:`_util.record_case`,
+landing in ``benchmarks/history/obs.jsonl`` and ``BENCH_obs.json``.
 """
 
-import json
-import os
 import time
 
-from _util import REPO_ROOT, format_rows, record
+from _util import format_rows, record, record_case
 
 from repro import obs
 from repro.core.plancache import clear_plan_cache
 from repro.data import generators
 from repro.enumeration.free_connex import FreeConnexEnumerator
 from repro.logic.parser import parse_cq
-
-OBS_RESULTS = os.path.join(REPO_ROOT, "BENCH_obs.json")
 
 FULL_QUERY = "Q(x, z, y) :- R(x, z), S(z, y)"
 N_BIG = 100_000
@@ -41,26 +38,6 @@ MAX_OVERHEAD = 0.05
 def make_db(n, seed=7):
     return generators.random_database({"R": 2, "S": 2}, max(4, n // 4), n,
                                       seed=seed)
-
-
-def record_obs(experiment, mode, n, **fields):
-    """Merge one row into BENCH_obs.json (keyed on experiment/mode/n)."""
-    rows = []
-    if os.path.exists(OBS_RESULTS):
-        try:
-            with open(OBS_RESULTS) as fh:
-                rows = json.load(fh)
-        except ValueError:
-            rows = []
-    rows = [r for r in rows
-            if (r.get("experiment"), r.get("mode"), r.get("n"))
-            != (experiment, mode, n)]
-    rows.append({"experiment": experiment, "mode": mode, "n": n, **fields})
-    rows.sort(key=lambda r: (r["experiment"], r["n"], r["mode"]))
-    with open(OBS_RESULTS, "w") as fh:
-        json.dump(rows, fh, indent=2)
-        fh.write("\n")
-    return OBS_RESULTS
 
 
 def _timed_enumeration(q, db):
@@ -124,12 +101,12 @@ def test_disabled_tracer_overhead_under_5pct(benchmark):
     record("obs_overhead",
            "Disabled-tracer overhead bound on the 100k enumeration "
            "workload\n" + format_rows(["quantity", "value"], rows))
-    record_obs("overhead", "disabled", N_BIG,
-               wall_seconds=wall, answers=answers, events=events,
-               null_call_cost_ns=null_cost * 1e9,
-               overhead_fraction=fraction)
-    record_obs("overhead", "enabled", N_BIG,
-               wall_seconds=traced_wall, answers=traced_answers,
-               spans=len(t.spans))
+    record_case("obs", "overhead/disabled", "overhead_fraction",
+                [{"n": N_BIG, "value": fraction, "wall_seconds": wall,
+                  "answers": answers, "events": events,
+                  "null_call_cost_ns": null_cost * 1e9}])
+    record_case("obs", "overhead/enabled", "wall_seconds",
+                [{"n": N_BIG, "value": traced_wall,
+                  "answers": traced_answers, "spans": len(t.spans)}])
     assert fraction < MAX_OVERHEAD, rows
     benchmark(_null_call_cost)

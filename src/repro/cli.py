@@ -26,6 +26,24 @@ Commands
 ``figures``
     Regenerate the paper's three figures as text.
 
+``bench``
+    Run the built-in complexity suites (free-connex delay, acyclic
+    total time, Algorithm 2 delay, the triangle lower bound), record
+    every case into ``benchmarks/history/*.jsonl`` under the canonical
+    observatory schema, and print the verdict table (measured log-log
+    slope + CI vs the shape the classifier predicts)::
+
+        python -m repro bench --quick
+
+    ``--gate fail`` turns a regression against the rolling baseline
+    into a nonzero exit code (default: warn only).
+
+``report``
+    Render the benchmark history as a self-contained HTML/SVG dashboard
+    (trajectories, scaling sweeps, verdicts, regression flags)::
+
+        python -m repro report -o report.html [--gate fail]
+
 ``bench-delay``
     Quick built-in delay experiment: free-connex vs Algorithm 2 on
     synthetic data of a given size.
@@ -266,9 +284,60 @@ def _print_plan_cache_stats() -> None:
           f"maxsize {st['maxsize']})")
 
 
+#: timer-overhead sanity window for slope fitting: below 10ns the
+#: calibration is suspiciously optimistic (vDSO fast path misreported),
+#: above 10µs the clock itself would drown the delays being measured
+TIMER_OVERHEAD_SANE_NS = (10, 10_000)
+
+#: machine-noise bar: coefficient of variation of a fixed CPU-bound
+#: workload above which log-log slope fits are untrustworthy (shared CI
+#: containers routinely exceed it)
+NOISE_CV_THRESHOLD = 0.25
+
+
+def _doctor_environment() -> None:
+    """Measurement-health checks: timer-overhead calibration sanity and
+    a machine-noise estimate (both surfaced as gauges on the active
+    tracer, so ``--metrics`` dumps record them alongside the run)."""
+    import statistics as _stats
+    import time as _time
+
+    from repro import obs
+    from repro.perf.delay import timer_overhead_ns
+
+    overhead = timer_overhead_ns()
+    lo, hi = TIMER_OVERHEAD_SANE_NS
+    obs.gauge("doctor.timer_overhead_ns", overhead)
+    if lo <= overhead <= hi:
+        print(f"timer overhead: {overhead} ns (ok, within [{lo}ns, {hi}ns])")
+    else:
+        print(f"timer overhead: {overhead} ns — WARNING: outside the sane "
+              f"window [{lo}ns, {hi}ns]; delay measurements and slope "
+              f"fits are unreliable on this machine")
+    samples = []
+    for _ in range(15):
+        start = _time.perf_counter()
+        acc = 0
+        for i in range(20_000):
+            acc += i
+        samples.append(_time.perf_counter() - start)
+    cv = _stats.stdev(samples) / _stats.fmean(samples)
+    obs.gauge("doctor.noise_cv", round(cv, 4))
+    obs.gauge("doctor.noise_cv_threshold", NOISE_CV_THRESHOLD)
+    if cv <= NOISE_CV_THRESHOLD:
+        print(f"machine noise: cv={cv:.3f} over a fixed workload (ok, "
+              f"threshold {NOISE_CV_THRESHOLD})")
+    else:
+        print(f"machine noise: cv={cv:.3f} over a fixed workload — "
+              f"WARNING: above {NOISE_CV_THRESHOLD}; this machine (a "
+              f"loaded CI container?) is too noisy for trustworthy "
+              f"slope fitting, expect inconclusive verdicts")
+
+
 def cmd_doctor(args: argparse.Namespace) -> int:
     """Minimise a query, classify its core, and suggest head extensions
-    that make it free-connex (the query_doctor example, as a command)."""
+    that make it free-connex (the query_doctor example, as a command);
+    without a query, check the measurement environment only."""
     from itertools import combinations
 
     from repro.core.classify import classify
@@ -276,9 +345,14 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     from repro.logic.cq import ConjunctiveQuery
     from repro.logic.parser import parse_query
 
+    if args.query is None:
+        _doctor_environment()
+        _print_plan_cache_stats()
+        return 0
     q = parse_query(args.query)
     if not isinstance(q, ConjunctiveQuery) or q.has_comparisons():
         print(classify(q).render())
+        _doctor_environment()
         _print_plan_cache_stats()
         return 0
     minimal = core(q)
@@ -454,16 +528,9 @@ def cmd_bench_delay(args: argparse.Namespace) -> int:
 
 
 def _delay_profile_row(profile) -> dict:
-    """JSON-able summary of one DelayProfile (seconds throughout)."""
-    return {
-        "preprocessing_seconds": profile.preprocessing_seconds,
-        "outputs": profile.n_outputs,
-        "delay_p50_seconds": profile.percentile(0.50),
-        "delay_p95_seconds": profile.percentile(0.95),
-        "delay_p99_seconds": profile.percentile(0.99),
-        "delay_mean_seconds": profile.mean_delay,
-        "delay_max_seconds": profile.max_delay,
-    }
+    """JSON-able summary of one DelayProfile (seconds throughout) — the
+    canonical observatory statistics block."""
+    return profile.summary()
 
 
 def _write_bench_delay_json(path: str, rows: List[dict],
@@ -494,6 +561,104 @@ def _write_bench_delay_json(path: str, rows: List[dict],
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")
+
+
+#: ``repro bench --quick`` sweep: ~1.2 decades of ||D|| for the binary
+#: joins and ~1.5 decades for the triangle instances — the smallest
+#: spans wide enough that the fitter's anti-flake rule (one decade
+#: minimum) cannot return `inconclusive` on a healthy machine, while the
+#: whole run stays under ~10 seconds.
+QUICK_SIZES = [500, 1000, 2000, 4000, 8000]
+QUICK_TRIANGLE_SIZES = [12, 22, 40, 70]
+
+DEFAULT_HISTORY_DIR = "benchmarks/history"
+
+
+def _print_regressions(regressions, gate: str) -> int:
+    """Print the gate standing per case; return the exit code that the
+    ``--gate`` policy assigns to it."""
+    flagged = [r for r in regressions if r.flagged]
+    if gate != "off":
+        for reg in regressions:
+            print(reg.describe())
+    if not flagged:
+        return 0
+    if gate == "fail":
+        print(f"regression gate: {len(flagged)} case(s) above the rolling "
+              f"baseline band — failing", file=sys.stderr)
+        return 1
+    print(f"regression gate: {len(flagged)} case(s) above the rolling "
+          f"baseline band (warn-only; use --gate fail to enforce)",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the built-in complexity suites, append every case to the
+    history, refresh the snapshot, and print the verdict table."""
+    import datetime
+
+    from repro.obs.observatory import Observatory, merge_snapshot, \
+        run_bench_suites
+
+    _select_engine(args)
+    tracer, previous = _obs_setup(args)
+    sizes = args.sizes
+    triangle_sizes = args.triangle_sizes
+    if args.quick:
+        sizes = sizes or QUICK_SIZES
+        triangle_sizes = triangle_sizes or QUICK_TRIANGLE_SIZES
+    if not sizes or not triangle_sizes:
+        print("bench needs --quick or explicit --sizes and "
+              "--triangle-sizes", file=sys.stderr)
+        return 2
+    timestamp = datetime.datetime.now(datetime.timezone.utc).isoformat()
+    try:
+        records = run_bench_suites(sizes, triangle_sizes, timestamp,
+                                   max_outputs=args.max_outputs,
+                                   repeats=args.repeats, seed=args.seed)
+    finally:
+        _obs_finish(args, tracer, previous)
+    observatory = Observatory(args.history_dir)
+    for record in records:
+        observatory.append(record)
+        if args.snapshot:
+            merge_snapshot(args.snapshot, record)
+    print(f"{'case':>26} {'n range':>16} {'slope [95% CI]':>22} "
+          f"{'verdict':>15} {'expected':>15} {'ok':>3}")
+    for record in records:
+        fit = record["fit"]
+        ns = [p["n"] for p in record["points"]]
+        if fit["ci_low"] is None:
+            ci = f"{fit['slope']:.2f} [n/a]" if fit["slope"] is not None \
+                else "n/a"
+        else:
+            ci = (f"{fit['slope']:.2f} [{fit['ci_low']:.2f}, "
+                  f"{fit['ci_high']:.2f}]")
+        ok = {True: "yes", False: "NO"}.get(record["verdict_ok"], "-")
+        print(f"{record['case']:>26} {min(ns):>7}-{max(ns):>8} {ci:>22} "
+              f"{record['verdict']:>15} "
+              f"{record['expectation'] or '-':>15} {ok:>3}")
+    print(f"recorded {len(records)} cases -> {args.history_dir}"
+          + (f" and {args.snapshot}" if args.snapshot else ""))
+    rc = _print_regressions(observatory.regressions(), args.gate)
+    if args.strict and any(r["verdict_ok"] is False for r in records):
+        print("verdict check: measured shape contradicts the classifier "
+              "for at least one case — failing (--strict)",
+              file=sys.stderr)
+        return 1
+    return rc
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render the benchmark history as the HTML/SVG dashboard."""
+    from repro.obs.report import write_dashboard
+
+    path, regressions = write_dashboard(
+        args.output, args.history_dir,
+        baseline_n=args.baseline_n, min_band=args.band)
+    print(f"wrote {path}")
+    return _print_regressions(regressions, args.gate)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -537,12 +702,62 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_explain)
 
-    p = sub.add_parser("doctor", help="minimise + classify + suggest fixes")
-    p.add_argument("query")
+    p = sub.add_parser("doctor",
+                       help="minimise + classify + suggest fixes; also "
+                            "checks the measurement environment (timer "
+                            "calibration, machine noise)")
+    p.add_argument("query", nargs="?", default=None,
+                   help="query to doctor (omit to run only the "
+                        "environment checks)")
     p.set_defaults(fn=cmd_doctor)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures")
     p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("bench",
+                       help="run the complexity suites, record history, "
+                            "print the verdict table")
+    p.add_argument("--quick", action="store_true",
+                   help="use the built-in quick sweep (~10s total)")
+    p.add_argument("--sizes", type=int, nargs="+", default=None,
+                   help="tuples per relation for the join suites")
+    p.add_argument("--triangle-sizes", type=int, nargs="+", default=None,
+                   help="per-side vertex counts for the triangle "
+                        "lower-bound instances")
+    p.add_argument("--max-outputs", type=int, default=600,
+                   help="answers measured per enumeration run")
+    p.add_argument("--repeats", type=int, default=2,
+                   help="repetitions per point (best-of)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--history-dir", default=DEFAULT_HISTORY_DIR,
+                   help="JSONL history directory (one file per suite)")
+    p.add_argument("--snapshot", default="BENCH_bench.json",
+                   help="snapshot file updated with the latest record "
+                        "per case ('' disables)")
+    p.add_argument("--gate", choices=("off", "warn", "fail"),
+                   default="warn",
+                   help="regression gate against the rolling baseline: "
+                        "warn (default) prints flags, fail exits nonzero")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero when a measured verdict "
+                        "contradicts the classifier's expectation")
+    _add_pipeline_flags(p)
+    _add_obs_flags(p)
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("report",
+                       help="render the benchmark history as an "
+                            "HTML/SVG dashboard")
+    p.add_argument("-o", "--output", default="report.html")
+    p.add_argument("--history-dir", default=DEFAULT_HISTORY_DIR)
+    p.add_argument("--baseline-n", type=int, default=5,
+                   help="rolling-baseline window (median of last N)")
+    p.add_argument("--band", type=float, default=0.30,
+                   help="minimum regression noise band (fraction)")
+    p.add_argument("--gate", choices=("off", "warn", "fail"),
+                   default="warn",
+                   help="exit policy when a case regressed")
+    p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("bench-delay", help="quick delay experiment")
     p.add_argument("--sizes", type=int, nargs="+",

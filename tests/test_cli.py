@@ -185,3 +185,79 @@ def test_bench_core_json(tmp_path, capsys):
     assert doc["rows"] and doc["slopes"]
     for slope in doc["slopes"]:
         assert {"op", "backend", "loglog_slope"} <= set(slope)
+
+
+def test_doctor_environment_checks(capsys):
+    assert main(["doctor"]) == 0
+    out = capsys.readouterr().out
+    assert "timer overhead:" in out
+    assert "machine noise:" in out
+    assert "plan cache:" in out
+
+
+def _bench_args(tmp_path, *extra):
+    # tiny sub-decade sweep: fast, and the fitter's anti-flake rule makes
+    # the join-suite verdicts `inconclusive` — fine for plumbing tests
+    return ["bench", "--sizes", "200", "400", "--triangle-sizes", "8",
+            "12", "--max-outputs", "50", "--repeats", "1",
+            "--history-dir", str(tmp_path / "hist"),
+            "--snapshot", str(tmp_path / "BENCH_bench.json"), *extra]
+
+
+def test_bench_command_records_history(tmp_path, capsys):
+    import json
+
+    from repro.obs.observatory import Observatory, load_snapshot
+
+    assert main(_bench_args(tmp_path)) == 0
+    out = capsys.readouterr().out
+    assert "verdict" in out and "expected" in out
+    assert "free_connex/delay" in out
+    assert "lower_bound_triangle/total" in out
+    assert main(_bench_args(tmp_path)) == 0  # second run appends
+    obs = Observatory(str(tmp_path / "hist"))
+    records = obs.load()
+    assert len(records) == 10  # 5 cases x 2 runs
+    for record in records:
+        json.dumps(record)
+        assert record["schema"] == "repro-bench/1"
+        assert record["provenance"]["git_sha"]
+    assert len(load_snapshot(str(tmp_path / "BENCH_bench.json"))) == 5
+
+
+def test_bench_requires_sizes(capsys):
+    assert main(["bench"]) == 2
+    assert "--quick" in capsys.readouterr().err
+
+
+def test_report_command(tmp_path, capsys):
+    assert main(_bench_args(tmp_path)) == 0
+    out_html = tmp_path / "report.html"
+    assert main(["report", "-o", str(out_html),
+                 "--history-dir", str(tmp_path / "hist")]) == 0
+    assert "wrote" in capsys.readouterr().out
+    html = out_html.read_text()
+    assert "<svg" in html and "free_connex/delay" in html
+
+
+def test_report_gate_fails_on_slowed_entry(tmp_path, capsys):
+    import json
+
+    from repro.obs.observatory import Observatory
+
+    assert main(_bench_args(tmp_path, "--gate", "off")) == 0
+    obs = Observatory(str(tmp_path / "hist"))
+    slowed = json.loads(json.dumps(obs.load("bench")[-1]))
+    for point in slowed["points"]:
+        point["value"] *= 10
+    obs.append(slowed)
+    capsys.readouterr()
+    assert main(["report", "-o", str(tmp_path / "r.html"),
+                 "--history-dir", str(tmp_path / "hist"),
+                 "--gate", "fail"]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION" in captured.out
+    assert "failing" in captured.err
+    # warn-only keeps the exit code green on the same history
+    assert main(["report", "-o", str(tmp_path / "r.html"),
+                 "--history-dir", str(tmp_path / "hist")]) == 0

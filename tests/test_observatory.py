@@ -1,0 +1,258 @@
+"""Schema validation, history, regression gate and legacy migration for
+:mod:`repro.obs.observatory`."""
+
+import json
+
+import pytest
+
+from repro.obs.observatory import (
+    BASELINE_N,
+    Observatory,
+    SCHEMA,
+    SchemaError,
+    backfill_provenance,
+    collect_provenance,
+    headline,
+    load_snapshot,
+    make_record,
+    merge_snapshot,
+    migrate_legacy_doc,
+    validate_record,
+)
+
+TS = "2026-08-05T00:00:00+00:00"
+
+
+def record_with(value=1.0, case="fc/delay", suite="t", scale=1.0):
+    points = [{"n": n, "value": scale * value} for n in (100, 1000, 10000)]
+    return make_record(suite, case, "delay_p50_seconds", points,
+                       expectation="constant-delay",
+                       provenance=backfill_provenance(TS))
+
+
+def test_make_record_computes_fit_and_verdict():
+    rec = record_with()
+    assert rec["schema"] == SCHEMA
+    assert rec["verdict"] == "constant-delay"
+    assert rec["verdict_ok"] is True
+    assert rec["fit"]["n_points"] == 3
+    json.dumps(rec)  # JSON-able throughout
+
+
+def test_make_record_flags_wrong_shape():
+    points = [{"n": n, "value": 1e-6 * n} for n in (100, 1000, 10000)]
+    rec = make_record("t", "fc/delay", "delay_p50_seconds", points,
+                      expectation="constant-delay",
+                      provenance=backfill_provenance(TS))
+    assert rec["verdict"] == "linear"
+    assert rec["verdict_ok"] is False
+
+
+def test_recorder_rejects_schemaless_payloads():
+    obs = Observatory("/tmp/nonexistent-history")
+    with pytest.raises(SchemaError):
+        obs.append({"experiment": "flat_delay", "n": 100, "value": 1.0})
+    with pytest.raises(SchemaError):
+        validate_record(["not", "a", "dict"])
+    with pytest.raises(SchemaError):
+        validate_record({"schema": "other/1", "suite": "t"})
+
+
+def test_validation_requires_points_and_provenance():
+    good = record_with()
+    for breakage in (
+        lambda r: r.pop("points"),
+        lambda r: r.__setitem__("points", []),
+        lambda r: r["points"][0].pop("value"),
+        lambda r: r["points"][0].__setitem__("n", "big"),
+        lambda r: r.pop("provenance"),
+        lambda r: r["provenance"].pop("git_sha"),
+        lambda r: r.__setitem__("metric", ""),
+    ):
+        broken = json.loads(json.dumps(good))
+        breakage(broken)
+        with pytest.raises(SchemaError):
+            validate_record(broken)
+
+
+def test_make_record_needs_timestamp_or_provenance():
+    with pytest.raises(SchemaError):
+        make_record("t", "c", "m", [{"n": 1, "value": 1.0}])
+
+
+def test_collect_provenance_fields():
+    prov = collect_provenance(TS, engine="tuple", block_size=64)
+    rec = make_record("t", "c", "m", [{"n": 1, "value": 1.0}],
+                      provenance=prov)
+    assert rec["provenance"]["timestamp"] == TS
+    assert rec["provenance"]["engine"] == "tuple"
+    assert rec["provenance"]["block_size"] == 64
+    assert rec["provenance"]["python"].count(".") == 2
+    assert rec["provenance"]["timer_overhead_ns"] >= 0
+
+
+def test_history_append_and_load(tmp_path):
+    obs = Observatory(str(tmp_path / "history"))
+    for value in (1.0, 1.1):
+        obs.append(record_with(value))
+    assert obs.suites() == ["t"]
+    records = obs.load()
+    assert len(records) == 2
+    assert [r["case"] for r in records] == ["fc/delay", "fc/delay"]
+    cases = obs.cases()
+    assert len(cases[("t", "fc/delay")]) == 2
+
+
+def test_history_skips_corrupt_lines(tmp_path):
+    obs = Observatory(str(tmp_path))
+    obs.append(record_with())
+    with open(obs.path_for("t"), "a") as fh:
+        fh.write("{not json\n")
+        fh.write(json.dumps({"schema": "bad"}) + "\n")
+    assert len(obs.load()) == 1
+
+
+def _seed_history(obs, values, case="fc/delay"):
+    for value in values:
+        points = [{"n": 100, "value": value / 10},
+                  {"n": 10000, "value": value}]
+        obs.append(make_record("t", case, "delay_p50_seconds", points,
+                               provenance=backfill_provenance(TS)))
+
+
+def test_regression_gate_flags_slowed_entry(tmp_path):
+    obs = Observatory(str(tmp_path))
+    _seed_history(obs, [1.0, 1.02, 0.98, 1.01, 0.99])
+    clean = obs.regressions()
+    assert len(clean) == 1 and not clean[0].flagged
+    # a synthetically slowed run must trip the gate
+    _seed_history(obs, [10.0])
+    flagged = obs.regressions()
+    assert flagged[0].flagged
+    assert flagged[0].baseline == pytest.approx(1.0, rel=0.05)
+    assert flagged[0].ratio > 5
+    assert "REGRESSION" in flagged[0].describe()
+
+
+def test_regression_band_widens_with_noisy_baseline(tmp_path):
+    obs = Observatory(str(tmp_path))
+    # jittery baseline: +-40% swings should widen the band past 30%
+    _seed_history(obs, [1.0, 1.4, 0.6, 1.45, 0.62, 1.35])
+    reg = obs.regressions()[0]
+    assert reg.band > 0.30
+    assert not reg.flagged
+
+
+def test_regression_no_baseline_on_first_run(tmp_path):
+    obs = Observatory(str(tmp_path))
+    _seed_history(obs, [1.0])
+    reg = obs.regressions()[0]
+    assert reg.baseline is None and not reg.flagged
+    assert "no baseline" in reg.describe()
+
+
+def test_regression_uses_rolling_window(tmp_path):
+    obs = Observatory(str(tmp_path))
+    # ancient slow history outside the last-N window must not raise the
+    # baseline: 8 fast runs follow, then a slow one
+    _seed_history(obs, [50.0, 50.0] + [1.0] * (BASELINE_N + 3) + [10.0])
+    reg = obs.regressions()[0]
+    assert reg.baseline == pytest.approx(1.0)
+    assert reg.flagged
+
+
+def test_regression_baseline_ignores_other_metrics(tmp_path):
+    obs = Observatory(str(tmp_path))
+    # old runs measured delay; the recorder then switched the case to
+    # throughput (numerically enormous by comparison).  The gate must
+    # not flag the metric change as a 10^12x regression.
+    _seed_history(obs, [1.5e-6, 1.6e-6])
+    points = [{"n": 100, "value": 5e4}, {"n": 10000, "value": 5e5}]
+    obs.append(make_record("t", "fc/delay", "throughput_per_s", points,
+                           provenance=backfill_provenance(TS)))
+    reg = obs.regressions()[0]
+    assert reg.metric == "throughput_per_s"
+    assert reg.baseline is None and not reg.flagged
+
+
+def test_headline_is_value_at_largest_n():
+    rec = make_record("t", "c", "m",
+                      [{"n": 1000, "value": 5.0}, {"n": 10, "value": 9.0}],
+                      provenance=backfill_provenance(TS))
+    assert headline(rec) == 5.0
+
+
+def test_snapshot_merge_replaces_case(tmp_path):
+    path = str(tmp_path / "BENCH_t.json")
+    merge_snapshot(path, record_with(1.0))
+    merge_snapshot(path, record_with(2.0))
+    merge_snapshot(path, record_with(1.0, case="other"))
+    records = load_snapshot(path)
+    assert len(records) == 2
+    assert {r["case"] for r in records} == {"fc/delay", "other"}
+
+
+def test_load_snapshot_ignores_legacy_files(tmp_path):
+    path = tmp_path / "BENCH_old.json"
+    path.write_text(json.dumps([{"op": "x", "n": 1, "backend": "tuple",
+                                 "seconds": 0.5}]))
+    assert load_snapshot(str(path)) == []
+
+
+def test_migrate_legacy_core_rows():
+    doc = [{"op": "full_reducer", "n": n, "backend": b,
+            "seconds": 1e-6 * n * (1 if b == "columnar" else 30)}
+           for n in (1000, 10000, 100000) for b in ("tuple", "columnar")]
+    records = migrate_legacy_doc(doc, "core", TS)
+    assert {r["case"] for r in records} == {"full_reducer/tuple",
+                                            "full_reducer/columnar"}
+    for rec in records:
+        validate_record(rec)
+        assert rec["provenance"]["backfilled"] is True
+        assert rec["verdict"] == "linear"
+        assert len(rec["points"]) == 3
+
+
+def test_migrate_legacy_enum_rows():
+    doc = [
+        {"experiment": "flat_delay", "mode": "columnar", "n": 25000,
+         "outputs": 3000, "median_delay_us": 0.157},
+        {"experiment": "flat_delay", "mode": "columnar", "n": 100000,
+         "outputs": 3000, "median_delay_us": 0.156},
+        {"experiment": "flat_delay", "mode": "slope", "n": 100000,
+         "loglog_slope": 0.14},  # recomputed, hence dropped
+        {"experiment": "plan_cache", "mode": "warm", "n": 100000,
+         "preprocessing_ms": 0.03, "speedup": 541.0},
+        # throughput rows carry delay fields too; the primary metric
+        # must still be throughput, matching the live recorder
+        {"experiment": "throughput", "mode": "tuple", "n": 100000,
+         "median_delay_us": 1.577, "mean_delay_us": 2.35,
+         "throughput_per_s": 515097.0},
+    ]
+    records = migrate_legacy_doc(doc, "enum", TS)
+    by_case = {r["case"]: r for r in records}
+    assert set(by_case) == {"flat_delay/columnar", "plan_cache/warm",
+                            "throughput/tuple"}
+    flat = by_case["flat_delay/columnar"]
+    assert flat["metric"] == "delay_p50_seconds"
+    assert flat["points"][0]["value"] == pytest.approx(0.157e-6)
+    warm = by_case["plan_cache/warm"]
+    assert warm["metric"] == "preprocessing_seconds"
+    assert warm["points"][0]["value"] == pytest.approx(3e-5)
+    assert warm["points"][0]["speedup"] == 541.0
+    tput = by_case["throughput/tuple"]
+    assert tput["metric"] == "throughput_per_s"
+    assert tput["points"][0]["value"] == pytest.approx(515097.0)
+
+
+def test_migrate_rejects_unknown_rows():
+    with pytest.raises(SchemaError):
+        migrate_legacy_doc([{"weird": 1}], "x", TS)
+    with pytest.raises(SchemaError):
+        migrate_legacy_doc({"not": "a list"}, "x", TS)
+
+
+def test_migrate_roundtrips_canonical_snapshot():
+    rec = record_with()
+    doc = {"schema": SCHEMA, "records": [rec]}
+    assert migrate_legacy_doc(doc, "t", TS) == [rec]

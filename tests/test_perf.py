@@ -5,6 +5,8 @@ fast; the benchmarks push further)."""
 
 import time
 
+import pytest
+
 from repro.data import generators
 from repro.enumeration.acq_linear import LinearDelayACQEnumerator
 from repro.enumeration.free_connex import FreeConnexEnumerator
@@ -29,6 +31,55 @@ def test_delay_profile_empty():
     p = DelayProfile(preprocessing_seconds=0.0)
     assert p.median_delay == 0.0 and p.max_delay == 0.0
     assert p.percentile(0.5) == 0.0
+
+
+def test_delay_profile_p999_tail():
+    # 999 fast outputs and one slow straggler: the median hides the
+    # spike, p99.9 must surface it
+    delays = [1e-6] * 999 + [5e-3]
+    p = DelayProfile(preprocessing_seconds=0.0, delays_seconds=delays,
+                     n_outputs=1000)
+    assert p.median_delay == 1e-6
+    assert p.p999 == 5e-3
+
+
+def test_delay_profile_histogram_fixed_buckets():
+    from repro.perf.delay import DELAY_BUCKET_LABELS
+
+    p = DelayProfile(preprocessing_seconds=0.0,
+                     delays_seconds=[5e-8, 2e-7, 2e-7, 5e-4, 2.0],
+                     n_outputs=5)
+    hist = p.histogram()
+    assert tuple(hist) == DELAY_BUCKET_LABELS  # every bucket, in order
+    assert hist["<=1e-07s"] == 1
+    assert hist["<=3.16e-07s"] == 2
+    assert hist["<=0.001s"] == 1
+    assert hist[">1e-01s"] == 1
+    assert sum(hist.values()) == 5
+
+
+def test_delay_profile_summary_json_able():
+    import json
+
+    p = DelayProfile(preprocessing_seconds=0.01,
+                     delays_seconds=[1e-6, 2e-6, 3e-6], n_outputs=3)
+    s = p.summary()
+    json.dumps(s)
+    assert s["outputs"] == 3
+    assert s["delay_p50_seconds"] == 2e-6
+    assert s["delay_p999_seconds"] == 3e-6
+    assert s["preprocessing_seconds"] == 0.01
+    assert s["throughput_per_s"] == pytest.approx(3 / 6e-6)
+    assert sum(s["delay_histogram"].values()) == 3
+
+
+def test_delay_profile_summary_infinite_throughput_is_none():
+    # every delay rounded to zero (sub-resolution emission): throughput
+    # is inf, which JSON can't carry — summary maps it to None
+    p = DelayProfile(preprocessing_seconds=0.0,
+                     delays_seconds=[0.0, 0.0], n_outputs=2)
+    assert p.throughput == float("inf")
+    assert p.summary()["throughput_per_s"] is None
 
 
 def test_measure_enumerator_counts_outputs():
