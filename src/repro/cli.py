@@ -111,6 +111,11 @@ def _select_engine(args: argparse.Namespace) -> None:
         from repro.engine import set_engine
 
         set_engine(name)
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        from repro.engine import set_default_workers
+
+        set_default_workers(workers)
     plan_cache = getattr(args, "plan_cache", None)
     if plan_cache is not None:
         from repro.core.plancache import set_plan_cache_enabled
@@ -121,8 +126,13 @@ def _select_engine(args: argparse.Namespace) -> None:
 def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
     """The shared enumeration-pipeline knobs (--engine and friends)."""
     p.add_argument("--engine", default=None,
-                   help="relational backend: tuple (default) or columnar "
-                        "(also via the REPRO_ENGINE environment variable)")
+                   help="relational backend: tuple (default), columnar, or "
+                        "parallel (also via the REPRO_ENGINE environment "
+                        "variable)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for the parallel backend "
+                        "(default: os.cpu_count(), env REPRO_WORKERS; "
+                        "1 disables pool dispatch)")
     p.add_argument("--block-size", type=int, default=None,
                    help="answers per batched emission block on the columnar "
                         "backend (default 1024, env REPRO_BLOCK_SIZE; <= 0 "
@@ -332,6 +342,39 @@ def _doctor_environment() -> None:
               f"WARNING: above {NOISE_CV_THRESHOLD}; this machine (a "
               f"loaded CI container?) is too noisy for trustworthy "
               f"slope fitting, expect inconclusive verdicts")
+    _doctor_parallel()
+
+
+def _doctor_parallel() -> None:
+    """Worker-pool health: cpu budget, spawn availability, live pools."""
+    import multiprocessing as _mp
+    import os as _os
+
+    from repro import obs
+    from repro.engine import default_workers, pool_stats
+
+    cpus = _os.cpu_count() or 1
+    workers = default_workers()
+    obs.gauge("doctor.cpu_count", cpus)
+    obs.gauge("doctor.default_workers", workers)
+    methods = _mp.get_all_start_methods()
+    obs.gauge("doctor.spawn_available", int("spawn" in methods))
+    if workers > 1:
+        print(f"parallel engine: {workers} workers over {cpus} cpus")
+    else:
+        print(f"parallel engine: 1 worker over {cpus} cpus — pool "
+              f"dispatch disabled, the parallel backend runs serially "
+              f"(set REPRO_WORKERS or --workers to force a pool)")
+    if "spawn" not in methods:  # pragma: no cover - all tier-1 platforms have it
+        print("start methods: WARNING: no 'spawn' support; the parallel "
+              "backend cannot start workers on this platform")
+    else:
+        print(f"start methods: {', '.join(methods)} (pool uses spawn)")
+    st = pool_stats()
+    if st["pools"]:
+        live = ", ".join(f"{w} workers ({'up' if st['alive'][w] else 'down'})"
+                         for w in st["pools"])
+        print(f"live pools: {live}")
 
 
 def cmd_doctor(args: argparse.Namespace) -> int:
@@ -617,17 +660,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
         records = run_bench_suites(sizes, triangle_sizes, timestamp,
                                    max_outputs=args.max_outputs,
                                    repeats=args.repeats, seed=args.seed)
+        if args.parallel_suite:
+            from repro.obs.observatory import run_parallel_suite
+
+            records += run_parallel_suite(timestamp,
+                                          size=args.parallel_size,
+                                          repeats=args.repeats,
+                                          seed=args.seed)
     finally:
         _obs_finish(args, tracer, previous)
     observatory = Observatory(args.history_dir)
     for record in records:
         observatory.append(record)
-        if args.snapshot:
-            merge_snapshot(args.snapshot, record)
+        snapshot = args.snapshot if record["suite"] == "bench" \
+            else args.parallel_snapshot
+        if snapshot:
+            merge_snapshot(snapshot, record)
     print(f"{'case':>26} {'n range':>16} {'slope [95% CI]':>22} "
           f"{'verdict':>15} {'expected':>15} {'ok':>3}")
     for record in records:
-        fit = record["fit"]
+        # fit is None for sub-2-point sweeps (nothing to fit a slope to)
+        fit = record["fit"] or {"slope": None, "ci_low": None,
+                                "ci_high": None}
         ns = [p["n"] for p in record["points"]]
         if fit["ci_low"] is None:
             ci = f"{fit['slope']:.2f} [n/a]" if fit["slope"] is not None \
@@ -734,6 +788,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--snapshot", default="BENCH_bench.json",
                    help="snapshot file updated with the latest record "
                         "per case ('' disables)")
+    p.add_argument("--parallel-suite", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="also run the worker-pool speedup-vs-workers "
+                        "suite (snapshot in --parallel-snapshot)")
+    p.add_argument("--parallel-size", type=int, default=60_000,
+                   help="tuples per relation for the parallel suite's "
+                        "fixed instance")
+    p.add_argument("--parallel-snapshot", default="BENCH_parallel.json",
+                   help="snapshot file for the parallel suite "
+                        "('' disables)")
     p.add_argument("--gate", choices=("off", "warn", "fail"),
                    default="warn",
                    help="regression gate against the rolling baseline: "

@@ -155,7 +155,10 @@ def cached_plan(kind: str, query: Hashable, db, engine_name: str,
 
     ``builder`` runs (and its result is cached, with ``db`` pinned) only
     on a miss or when caching is disabled.  ``extra`` distinguishes
-    same-query plans with different knobs (e.g. block size).
+    same-query plans with different knobs — block size, and the engine's
+    :meth:`~repro.engine.base.Engine.plan_key` (for the parallel backend:
+    worker count and fallback threshold, since shard plans and chunk
+    bounds built for one fan-out must not serve another).
     """
     if not plan_cache_enabled():
         with obs.span("plan.build", kind=kind, cache="off"):

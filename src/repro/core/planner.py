@@ -115,18 +115,22 @@ def answer(query: QueryLike, db: Database) -> Set[Tuple[Any, ...]]:
     return set(enumerate_answers(query, db))
 
 
-def count(query: QueryLike, db: Database, weights=None) -> Any:
-    """|phi(D)| (or its weighted sum), via the best applicable engine."""
+def count(query: QueryLike, db: Database, weights=None, engine=None) -> Any:
+    """|phi(D)| (or its weighted sum), via the best applicable engine.
+
+    ``engine`` selects the relational backend for the routes that use
+    one (star-size counting of ACQs); other routes ignore it.
+    """
     with obs.span("planner.count", query=type(query).__name__):
-        return _count(query, db, weights)
+        return _count(query, db, weights, engine=engine)
 
 
-def _count(query: QueryLike, db: Database, weights=None) -> Any:
+def _count(query: QueryLike, db: Database, weights=None, engine=None) -> Any:
     if isinstance(query, ConjunctiveQuery):
         if not query.has_comparisons() and query.is_acyclic():
             from repro.counting.acq_count import count_acq
 
-            return count_acq(query, db, weights)
+            return count_acq(query, db, weights, engine=engine)
         if (query.disequalities() and not query.order_comparisons()
                 and weights is None):
             # count through the ACQ!= enumerator when its fragment applies

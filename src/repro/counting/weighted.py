@@ -9,6 +9,7 @@ special case w = 1.
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Union
 
 
@@ -23,6 +24,7 @@ class WeightFunction:
                  default: Any = 1):
         self._default = default
         self._trivial = source is None and default == 1
+        self._table_cache: Optional[Any] = None
         if source is None:
             self._fn: Callable[[Any], Any] = lambda _x: default
         elif callable(source):
@@ -67,23 +69,37 @@ class WeightFunction:
         beyond 2^53 may round where the per-tuple path (arbitrary
         precision ints) would not.  Callers convert integral results
         back to int when every weight is integer-valued.
+
+        The table (including a None verdict) is memoised per dictionary
+        state — it is rebuilt only when the dictionary has interned new
+        values since the last call, so repeated weighted counts (and the
+        parallel backend, which ships the table to every worker task)
+        pay the per-code evaluation loop once.
         """
         import numpy as np
 
         from repro import obs
 
         n = len(dictionary)
-        table = np.empty(n, dtype=np.float64)
+        if self._table_cache is not None:
+            ref, size, cached = self._table_cache
+            if ref() is dictionary and size == n:
+                return cached
+        table: Optional[Any] = np.empty(n, dtype=np.float64)
         fn = self._fn
         for code in range(n):
             w = fn(dictionary.decode(code))
             if isinstance(w, bool) or isinstance(w, int):
                 if abs(w) > 2 ** 53:
-                    return None
+                    table = None
+                    break
             elif not isinstance(w, float):
-                return None
+                table = None
+                break
             table[code] = w
-        obs.gauge("weights.code_table_size", n)
+        if table is not None:
+            obs.gauge("weights.code_table_size", n)
+        self._table_cache = (weakref.ref(dictionary), n, table)
         return table
 
 

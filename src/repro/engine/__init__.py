@@ -9,7 +9,11 @@ on:
   seed behaviour);
 * ``columnar`` — dictionary-encoded numpy int64 columns with vectorized
   sort/radix-grouped kernels (typically >= 3x faster on 100k-tuple
-  acyclic joins; see ``benchmarks/test_bench_engines.py``).
+  acyclic joins; see ``benchmarks/test_bench_engines.py``);
+* ``parallel`` — the columnar kernels fanned out over a spawn-based
+  worker pool with shared-memory code columns (hash-sharded semijoins,
+  counting and order-preserving block enumeration; serial fallback
+  below a tuple-count threshold — see :mod:`repro.engine.parallel`).
 
 Selection, in decreasing precedence:
 
@@ -34,6 +38,18 @@ from repro.engine.enumerate import (
     batchable,
     block_enumerate,
     resolve_block_size,
+)
+from repro.engine.parallel import (
+    DEFAULT_PARALLEL_THRESHOLD,
+    THRESHOLD_ENV_VAR,
+    WORKERS_ENV_VAR,
+    ParallelBlockIterator,
+    ParallelEngine,
+    default_threshold,
+    default_workers,
+    pool_stats,
+    set_default_workers,
+    shutdown_pools,
 )
 
 DEFAULT_ENGINE = "tuple"
@@ -104,11 +120,22 @@ def resolve_engine(engine: Union[Engine, str, None]) -> Engine:
 
 register_engine(TupleEngine())
 register_engine(ColumnarEngine())
+register_engine(ParallelEngine())
 
 __all__ = [
     "Engine",
     "TupleEngine",
     "ColumnarEngine",
+    "ParallelEngine",
+    "ParallelBlockIterator",
+    "default_workers",
+    "default_threshold",
+    "set_default_workers",
+    "shutdown_pools",
+    "pool_stats",
+    "DEFAULT_PARALLEL_THRESHOLD",
+    "WORKERS_ENV_VAR",
+    "THRESHOLD_ENV_VAR",
     "register_engine",
     "available_engines",
     "get_engine",

@@ -46,6 +46,15 @@ class Engine:
         (no copy when it already belongs here)."""
         raise NotImplementedError
 
+    def plan_key(self) -> Tuple[Any, ...]:
+        """Extra plan-cache key material beyond the engine name.
+
+        Serial backends contribute nothing; the parallel backend folds
+        its worker count and shard configuration in, so plans built for
+        one fan-out never serve another (see
+        :meth:`repro.engine.parallel.ParallelEngine.plan_key`)."""
+        return ()
+
     def to_varrelation(self, rel):
         """Convert a relation of this backend into a tuple-backed
         :class:`~repro.eval.join.VarRelation`."""

@@ -62,7 +62,7 @@ class ValueDictionary:
     dictionary makes this automatic).
     """
 
-    __slots__ = ("_codes", "_values", "_table")
+    __slots__ = ("_codes", "_values", "_table", "__weakref__")
 
     def __init__(self) -> None:
         self._codes: Dict[Any, int] = {}
@@ -197,7 +197,8 @@ class ColumnarRelation:
     """
 
     __slots__ = ("variables", "_positions", "_columns", "_nrows",
-                 "_pending", "_indexes", "_dict", "_decoded")
+                 "_pending", "_indexes", "_dict", "_decoded",
+                 "_probecache", "_version")
 
     def __init__(self, variables: Sequence[Variable],
                  tuples: Optional[Iterable[Tup]] = None,
@@ -217,6 +218,8 @@ class ColumnarRelation:
         self._pending: List[Tup] = []
         self._indexes: Dict[Tuple[Variable, ...], Dict[Tup, List[Tup]]] = {}
         self._decoded: Optional[List[Tup]] = None
+        self._probecache: Dict[Any, Any] = {}
+        self._version = 0
         if tuples is not None:
             for t in tuples:
                 self.add(t)
@@ -252,12 +255,45 @@ class ColumnarRelation:
             cols = new_cols
         self._columns, self._nrows = _dedupe_columns(
             cols, self._nrows + len(rows))
-        self._indexes = {}
-        self._decoded = None
+        self._invalidate()
 
     def _invalidate(self) -> None:
         self._indexes = {}
         self._decoded = None
+        # replace, never mutate: copies sharing the old cache (see
+        # ``copy``) keep their still-valid probes for the old columns
+        self._probecache = {}
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (mirrors :attr:`repro.data.relation.Relation.
+        version`): bumps whenever pending rows are folded in, so derived
+        structures keyed on a version snapshot self-invalidate."""
+        self._flush()
+        return self._version
+
+    def cached_probe(self, key: Any, builder):
+        """Memoise a derived probe structure on this relation's columns.
+
+        ``builder`` is called once per ``key`` per column version; the
+        result (e.g. a sorted-order ``_BatchProbe`` permutation) is
+        reused by every consumer holding this relation *or a copy of
+        it* — ``copy`` shares the cache dict, and any later mutation
+        swaps in a fresh dict (:meth:`_invalidate`) rather than mutating
+        the shared one, so stale entries are unreachable by
+        construction.  Skips re-sorting on warm plan-cache runs and in
+        repeated enumerator builds over the same reduced relations.
+        """
+        self._flush()
+        entry = self._probecache.get(key)
+        if entry is None:
+            obs.count("kernel.probe_cache_misses")
+            entry = builder()
+            self._probecache[key] = entry
+        else:
+            obs.count("kernel.probe_cache_hits")
+        return entry
 
     def column(self, v: Variable) -> np.ndarray:
         """The code column of variable ``v``."""
@@ -342,8 +378,13 @@ class ColumnarRelation:
 
     def copy(self) -> "ColumnarRelation":
         self._flush()
-        return ColumnarRelation.from_codes(
+        dup = ColumnarRelation.from_codes(
             self.variables, self._columns, self._nrows, self._dict)
+        # identical columns -> identical probes; share the cache (a
+        # mutation on either side installs a fresh dict, leaving the
+        # other's view intact)
+        dup._probecache = self._probecache
+        return dup
 
     def to_varrelation(self):
         """Materialise as a tuple-backed VarRelation."""

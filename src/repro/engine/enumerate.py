@@ -138,6 +138,23 @@ class _BatchProbe:
                                                               copy=False)
 
 
+def build_probe(rel: ColumnarRelation,
+                probe_vars: Sequence[Variable]) -> _BatchProbe:
+    """The node's :class:`_BatchProbe`, memoised on the relation.
+
+    The sorted-order permutation (the argsort inside ``_BatchProbe``) is
+    the expensive part of probe construction; caching it on the relation
+    (:meth:`ColumnarRelation.cached_probe`, shared across ``copy()``
+    views and invalidated by the relation's version counter) means
+    repeated enumerator builds over the same reduced relations — warm
+    plan-cache runs, parallel enumeration workers, reruns at a different
+    block size — skip the re-sort entirely.
+    """
+    return rel.cached_probe(
+        ("batch_probe", tuple(probe_vars)),
+        lambda: _BatchProbe([rel.column(v) for v in probe_vars], len(rel)))
+
+
 class BlockIterator:
     """Batched enumeration of a consistent acyclic full join.
 
@@ -210,8 +227,7 @@ class BlockIterator:
                 if level == 0:
                     self._probes.append(None)
                 else:
-                    self._probes.append(_BatchProbe(
-                        [rel.column(v) for v in pv], len(rel)))
+                    self._probes.append(build_probe(rel, pv))
         missing = [v for v in self._head if v not in bound]
         if missing:
             raise ValueError(

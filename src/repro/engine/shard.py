@@ -1,0 +1,186 @@
+"""Hash-sharding kernels for the parallel execution layer.
+
+Everything in this module is a pure function over numpy code columns —
+no processes, no shared memory, no engine objects — so the exact same
+kernels run in the driver (for the below-threshold serial fallback and
+for tiny per-step fast paths) and in pool workers (attached to
+shared-memory views).  :mod:`repro.engine.parallel` owns the process
+plumbing; this module owns the mathematics:
+
+* :func:`shard_ids` — a deterministic multiplicative hash of one or more
+  join-key columns onto ``[0, num_shards)``.  Determinism matters twice:
+  the driver and every worker must agree on the partition (they hash
+  independently), and re-running a query must shard identically so the
+  plan cache and the parity suites stay meaningful.  The hash is pure
+  uint64 arithmetic — independent of ``PYTHONHASHSEED`` and of the
+  process it runs in.
+* :func:`semijoin_mask` — the membership kernel of the columnar
+  semijoin, factored out so a worker can compute "which of my shard's
+  left rows have a right match" without building relation objects.
+* :func:`count_node_shard` — one node's share of the counting message
+  pass (Theorem 4.21): charged-weight gather, child-factor probes and
+  the per-key group-sum, restricted to a row selection.  Sharding by the
+  share-variable hash keeps every key group inside one shard, so the
+  per-key sums a shard computes are *final* — the driver concatenates
+  shard messages instead of re-aggregating them.
+
+The sharding invariant the parallel layer leans on throughout: rows
+agreeing on the key columns land in the same shard.  Semijoin survival
+of a row depends only on same-key rows of the other side, and a count
+message key's sum depends only on same-key rows of the node — so both
+operations distribute over shards with no cross-shard communication.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.columnar import group_ids, grouped_sums
+
+# splitmix64 constants: a well-mixed multiplicative finaliser, so codes
+# that differ in low bits spread over shards instead of striping
+_MIX_MULT_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_MULT_2 = np.uint64(0x94D049BB133111EB)
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _mix(h: np.ndarray) -> np.ndarray:
+    """splitmix64 finaliser over a uint64 array (wrapping arithmetic)."""
+    h = h ^ (h >> np.uint64(30))
+    h = h * _MIX_MULT_1
+    h = h ^ (h >> np.uint64(27))
+    h = h * _MIX_MULT_2
+    return h ^ (h >> np.uint64(31))
+
+
+def shard_ids(columns: Sequence[np.ndarray], num_shards: int) -> np.ndarray:
+    """Shard id in ``[0, num_shards)`` per row of the key ``columns``.
+
+    Rows that agree on every key column get the same shard id — in any
+    process, on any run.  With no key columns every row goes to shard 0
+    (the degenerate no-shared-variable case is handled by the caller).
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    if not columns:
+        return np.zeros(0, dtype=np.int64)
+    n = len(columns[0])
+    h = np.full(n, _GOLDEN, dtype=np.uint64)
+    for col in columns:
+        h = _mix(h ^ col.astype(np.uint64))
+    return (h % np.uint64(num_shards)).astype(np.int64)
+
+
+def semijoin_mask(left_keys: Sequence[np.ndarray],
+                  right_keys: Sequence[np.ndarray]) -> np.ndarray:
+    """Boolean survival mask of the left rows under a semijoin.
+
+    ``left_keys``/``right_keys`` are parallel lists of key columns (same
+    variables, same order).  Exactly the membership step of
+    :meth:`ColumnarRelation.semijoin`, minus the relation plumbing.
+    """
+    n = len(left_keys[0]) if left_keys else 0
+    m = len(right_keys[0]) if right_keys else 0
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    if m == 0:
+        return np.zeros(n, dtype=bool)
+    joint = [np.concatenate([a, b]) for a, b in zip(left_keys, right_keys)]
+    ids, card = group_ids(joint, n + m)
+    present = np.zeros(card, dtype=bool)
+    present[ids[n:]] = True
+    return present[ids[:n]]
+
+
+# ------------------------------------------------------------- counting shard
+
+
+def count_node_shard(
+    columns: Sequence[np.ndarray],
+    select: Optional[np.ndarray],
+    share_pos: Sequence[int],
+    charged_pos: Sequence[int],
+    children: Sequence[Tuple[Sequence[int], List[np.ndarray], np.ndarray]],
+    weight_table: Optional[np.ndarray] = None,
+) -> Tuple[List[np.ndarray], np.ndarray]:
+    """One shard of a node's counting message (Theorem 4.21's DP step).
+
+    Parameters
+    ----------
+    columns:
+        The node relation's full code columns.
+    select:
+        Row selection for this shard (bool mask or index array); None
+        means all rows.
+    share_pos / charged_pos:
+        Column positions of the share-with-parent and charged variables.
+    children:
+        Per child: ``(key_positions, message_keys, message_values)`` —
+        the child's already-merged message and where its key variables
+        sit in this node's schema.
+    weight_table:
+        Optional per-code float64 weight table (weighted counting).
+
+    Returns the shard's message ``(key_columns, sums)``: per distinct
+    share-variable key (first-occurrence order within the shard), the
+    sum of weighted extension counts.  Mirrors
+    :func:`repro.engine.columnar.count_acyclic_join_columnar` exactly —
+    same kernels, same accumulation order within the selection — so
+    per-key sums are bit-identical to the serial pass whenever the
+    selection keeps whole key groups together.
+    """
+    if select is None:
+        cols = list(columns)
+    else:
+        cols = [c[select] for c in columns]
+    n = len(cols[0]) if cols else 0
+    if weight_table is None:
+        values = np.ones(n, dtype=np.int64)
+    else:
+        values = np.ones(n, dtype=np.float64)
+        for p in charged_pos:
+            values = values * weight_table[cols[p]]
+    for key_pos, mkeys, mvals in children:
+        probe_cols = [cols[p] for p in key_pos]
+        g = len(mvals)
+        joint = [np.concatenate([mk, pc])
+                 for mk, pc in zip(mkeys, probe_cols)]
+        ids, card = group_ids(joint, g + n)
+        factor = np.zeros(card, dtype=mvals.dtype)
+        factor[ids[:g]] = mvals
+        values = values * factor[ids[g:]]
+    shared_cols = [cols[p] for p in share_pos]
+    ids, card = group_ids(shared_cols, n)
+    sums = grouped_sums(ids, card, values)
+    uniq, first = np.unique(ids, return_index=True)
+    return [c[first] for c in shared_cols], sums[uniq]
+
+
+def merge_count_messages(
+    parts: Sequence[Tuple[List[np.ndarray], np.ndarray]],
+    num_keys: int,
+) -> Tuple[List[np.ndarray], np.ndarray]:
+    """Concatenate per-shard count messages into one node message.
+
+    With ``num_keys > 0`` the shards hold disjoint key sets (hash
+    sharding on the key columns), so concatenation *is* the merge.  With
+    ``num_keys == 0`` every shard's message is the scalar ``()`` group;
+    the partial sums are added in shard order (the one place the
+    parallel weighted count can differ from serial float accumulation —
+    see DESIGN.md's note).
+    """
+    parts = [p for p in parts if len(p[1])]
+    if not parts:
+        empty = np.zeros(0, dtype=np.int64)
+        return [empty.copy() for _ in range(num_keys)], empty
+    if num_keys == 0:
+        total = parts[0][1][:1].copy()
+        for _keys, vals in parts[1:]:
+            total[0] += vals[0]
+        return [], total
+    keys = [np.concatenate([p[0][i] for p in parts])
+            for i in range(num_keys)]
+    vals = np.concatenate([p[1] for p in parts])
+    return keys, vals

@@ -118,10 +118,11 @@ class FreeConnexEnumerator(Enumerator):
         from repro.engine import resolve_engine
         from repro.engine.enumerate import resolve_block_size
 
-        eng_name = resolve_engine(self.engine).name
+        eng = resolve_engine(self.engine)
         block = resolve_block_size(self.block_size)
         kind, payload = cached_plan("free_connex", self.cq, self.db,
-                                    eng_name, self._build_plan, extra=block)
+                                    eng.name, self._build_plan,
+                                    extra=(block,) + eng.plan_key())
         if kind == "bool":
             self._boolean_true = payload
         else:
@@ -143,7 +144,8 @@ class FreeConnexEnumerator(Enumerator):
             return ("enum", None)
         derived = [r for r in derived if len(r.variables) > 0]
         inner = FullJoinEnumerator(derived, self.cq.head, reduce=True,
-                                   block_size=self.block_size)
+                                   block_size=self.block_size,
+                                   engine=self.engine)
         inner.preprocess()
         return ("enum", inner)
 

@@ -34,10 +34,23 @@ from repro.hypergraph.jointree import JoinTree, build_join_tree
 from repro.logic.terms import Variable
 
 
-def reduce_relations(tree: JoinTree, relations: List[VarRelation]) -> List[VarRelation]:
+def reduce_relations(tree: JoinTree, relations: List[VarRelation],
+                     engine=None) -> List[VarRelation]:
     """Full reducer on bare relations along a join tree (node i uses
-    relations[i]); returns the reduced list."""
+    relations[i]); returns the reduced list.
+
+    When ``engine`` (an Engine, a backend name, or None for the current
+    selection) exposes the worker-pool hooks and the inputs clear its
+    tuple-count threshold, the semijoin passes are sharded across the
+    pool; the reduced relations are byte-identical either way.
+    """
     relations = list(relations)
+    from repro.engine import resolve_engine
+
+    eng = resolve_engine(engine)
+    parallel = getattr(eng, "parallel_reduce", None)
+    if parallel is not None and eng.should_parallelise(relations):
+        return parallel(tree, relations)
     with obs.span("full_join.reduce", nodes=len(relations)):
         for node in tree.bottom_up():
             parent = tree.parent[node]
@@ -71,15 +84,21 @@ class FullJoinEnumerator(Enumerator):
         every relation is a ColumnarRelation over one shared dictionary;
         ``None`` consults ``REPRO_BLOCK_SIZE`` (default 1024), and a
         value <= 0 forces the tuple-at-a-time path.
+    engine:
+        Backend selection (an Engine, a name, or None for the current
+        process-wide selection).  An engine with worker-pool hooks routes
+        the reduction and the batched enumeration through the pool when
+        the inputs clear its threshold; answer order is unaffected.
     """
 
     def __init__(self, relations: Sequence[VarRelation],
                  head: Sequence[Variable], reduce: bool = True,
-                 block_size: Optional[int] = None):
+                 block_size: Optional[int] = None, engine=None):
         super().__init__()
         self._relations = list(relations)
         self._head = tuple(head)
         self._reduce = reduce
+        self._engine = engine
         self._block_size = resolve_block_size(block_size)
         self._block_iter: Optional[BlockIterator] = None
         all_vars: Dict[Variable, None] = {}
@@ -106,16 +125,26 @@ class FullJoinEnumerator(Enumerator):
         )
         self._tree = build_join_tree(h)  # raises NotAcyclicError if cyclic
         if self._reduce:
-            self._relations = reduce_relations(self._tree, self._relations)
+            self._relations = reduce_relations(self._tree, self._relations,
+                                               engine=self._engine)
         if any(len(r) == 0 for r in self._relations):
             self._empty = True
             return
         if self._block_size > 0 and batchable(self._relations):
             # batched columnar pipeline: probe structures replace the
             # decoded hash indexes entirely
-            self._block_iter = BlockIterator(
-                self._relations, self._head, block_size=self._block_size,
-                tree=self._tree, reduce=False)
+            from repro.engine import resolve_engine
+
+            eng = resolve_engine(self._engine)
+            par_enum = getattr(eng, "parallel_enumerator", None)
+            if par_enum is not None and eng.should_parallelise(self._relations):
+                self._block_iter = par_enum(
+                    self._relations, self._head, block_size=self._block_size,
+                    tree=self._tree, reduce=False)
+            else:
+                self._block_iter = BlockIterator(
+                    self._relations, self._head, block_size=self._block_size,
+                    tree=self._tree, reduce=False)
             return
         # DFS preorder; for each node, the probe variables (shared with parent)
         self._order = self._tree.top_down()

@@ -86,22 +86,34 @@ def full_reducer(cq: ConjunctiveQuery, db: Database,
         from repro.core.plancache import cached_plan
 
         eng = _engine(engine)
+        # the engine's plan_key folds the shard configuration (worker
+        # count, fallback threshold) into the cache key: a reduction
+        # computed under one fan-out must not serve another
         tree, reduced = cached_plan(
             "full_reducer", cq, db, eng.name,
             lambda: _full_reduce(cq, db, cached_join_tree(cq.hypergraph()),
-                                 materialise_atoms(cq, db, eng)))
+                                 materialise_atoms(cq, db, eng), engine=eng),
+            extra=eng.plan_key())
         return tree, [r.copy() for r in reduced]
     if tree is None:
         tree = cached_join_tree(cq.hypergraph())
     if relations is None:
         relations = materialise_atoms(cq, db, engine)
-    return _full_reduce(cq, db, tree, relations)
+    return _full_reduce(cq, db, tree, relations, engine=engine)
 
 
 def _full_reduce(cq: ConjunctiveQuery, db: Database, tree: JoinTree,
-                 relations: List[VarRelation]
+                 relations: List[VarRelation],
+                 engine: EngineLike = None
                  ) -> Tuple[JoinTree, List[VarRelation]]:
     relations = list(relations)
+    eng = _engine(engine)
+    # the parallel backend shards every semijoin step across its worker
+    # pool (above its tuple-count threshold); the result is byte-identical
+    # to the serial passes below, so callers never see the difference
+    parallel = getattr(eng, "parallel_reduce", None)
+    if parallel is not None and eng.should_parallelise(relations):
+        return tree, parallel(tree, relations)
     with obs.span("yannakakis.full_reduce", nodes=len(relations)):
         # bottom-up: parent := parent semijoin child
         for node in tree.bottom_up():

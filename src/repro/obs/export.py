@@ -34,24 +34,39 @@ def _jsonable(value: Any) -> Any:
 
 def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
     """The trace-event list: one ``X`` event per span, one ``C`` event
-    per counter (timestamped at the trace end)."""
+    per counter (timestamped at the trace end).
+
+    Spans adopted from pool workers carry their own ``pid``
+    (:meth:`repro.obs.trace.Tracer.adopt`), so the export lays the
+    fan-out on separate process tracks; ``process_name`` metadata
+    events label the driver vs the workers."""
     epoch = tracer.epoch_ns
     pid = os.getpid()
     events: List[Dict[str, Any]] = []
     last_end = epoch
+    worker_pids = set()
     for span in tracer.spans:
         end_ns = span.end_ns if span.end_ns is not None else span.start_ns
         last_end = max(last_end, end_ns)
+        span_pid = span.pid if span.pid is not None else pid
+        if span_pid != pid:
+            worker_pids.add(span_pid)
         events.append({
             "name": span.name,
             "ph": "X",
             "cat": "repro",
             "ts": (span.start_ns - epoch) / 1e3,  # microseconds
             "dur": (end_ns - span.start_ns) / 1e3,
-            "pid": pid,
+            "pid": span_pid,
             "tid": span.tid,
             "args": {k: _jsonable(v) for k, v in span.attrs.items()},
         })
+    if worker_pids:
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": "repro driver"}})
+        for wpid in sorted(worker_pids):
+            events.append({"name": "process_name", "ph": "M", "pid": wpid,
+                           "tid": 0, "args": {"name": "repro worker"}})
     ts_end = (last_end - epoch) / 1e3
     for name in sorted(tracer.counters):
         events.append({

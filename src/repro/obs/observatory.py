@@ -104,6 +104,11 @@ def collect_provenance(timestamp: str,
         from repro.engine import resolve_block_size
 
         block_size = resolve_block_size(None)
+    from repro.engine import default_workers
+
+    # cpu_count/workers are additive (not in PROVENANCE_KEYS): pre-pool
+    # records without them stay schema-valid, new records let the gate's
+    # readers normalise parallel timings by the fan-out they ran at
     return {
         "git_sha": sha,
         "timestamp": timestamp,
@@ -115,6 +120,8 @@ def collect_provenance(timestamp: str,
         "engine": engine,
         "block_size": block_size,
         "timer_overhead_ns": timer_overhead_ns(),
+        "cpu_count": os.cpu_count(),
+        "workers": default_workers(),
     }
 
 
@@ -604,4 +611,80 @@ def run_bench_suites(sizes: Sequence[int],
                     "total_seconds", tri_points,
                     expectation=expected_verdict(tri_query, "total"),
                     provenance=provenance),
+    ]
+
+
+#: the worker-pool suite: speedup-vs-workers on one fixed instance
+PARALLEL_SUITE = "parallel"
+
+
+def run_parallel_suite(timestamp: str, size: int = 60_000,
+                       workers_list: Optional[Sequence[int]] = None,
+                       repeats: int = 2,
+                       seed: int = 7) -> List[Dict[str, Any]]:
+    """Measure the parallel backend's speedup-vs-workers curve.
+
+    One fixed two-atom join instance; the serial ``columnar`` backend
+    sets the baseline, then counting and enumeration wall times are
+    measured per worker count (pool dispatch forced by a zero
+    threshold).  Points use ``n`` = workers and ``value`` = wall seconds
+    (the gate's higher-is-worse convention; the headline is the
+    max-worker wall time), with the speedup-over-serial curve riding
+    along as a per-point ``speedup_x``.  No scaling-law expectation is
+    attached: on shared 1-2 cpu runners the curve is flat or worse, and
+    a verdict there would only produce noise (warn-only by design).
+    """
+    import time
+
+    from repro.core.plancache import clear_plan_cache
+    from repro.core.planner import count
+    from repro.data import generators
+    from repro.engine.parallel import ParallelEngine
+    from repro.enumeration.free_connex import FreeConnexEnumerator
+    from repro.logic.parser import parse_cq
+
+    provenance = collect_provenance(timestamp, engine="parallel")
+    cpus = os.cpu_count() or 1
+    if workers_list is None:
+        workers_list = sorted({1, 2, min(4, max(2, cpus)), cpus})
+    query = parse_cq("Q(x, z, y) :- R(x, z), S(z, y)")
+    db = generators.random_database({"R": 2, "S": 2}, max(4, size // 4),
+                                    size, seed=seed)
+
+    def timed(fn) -> float:
+        best = math.inf
+        for _ in range(max(1, repeats)):
+            clear_plan_cache()
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def run_count(engine) -> None:
+        count(query, db, engine=engine)
+
+    def run_enum(engine) -> None:
+        for _ in FreeConnexEnumerator(query, db, engine=engine):
+            pass
+
+    count_base = timed(lambda: run_count("columnar"))
+    enum_base = timed(lambda: run_enum("columnar"))
+    count_points, enum_points = [], []
+    for w in workers_list:
+        eng = ParallelEngine(workers=w, threshold=0)
+        count_wall = timed(lambda: run_count(eng))
+        enum_wall = timed(lambda: run_enum(eng))
+        count_points.append({"n": w, "value": count_wall,
+                             "speedup_x": count_base / count_wall,
+                             "serial_seconds": count_base})
+        enum_points.append({"n": w, "value": enum_wall,
+                            "speedup_x": enum_base / enum_wall,
+                            "serial_seconds": enum_base})
+    return [
+        make_record(PARALLEL_SUITE, "parallel/count_wall", "wall_seconds",
+                    count_points, provenance=provenance, instance_size=size,
+                    cpu_count=cpus),
+        make_record(PARALLEL_SUITE, "parallel/enum_wall", "wall_seconds",
+                    enum_points, provenance=provenance, instance_size=size,
+                    cpu_count=cpus),
     ]

@@ -33,17 +33,27 @@ from typing import Any, Dict, List, Optional
 
 class Span:
     """One timed region: name, ``perf_counter_ns`` bounds, attributes,
-    children (spans begun while this one topped the stack)."""
+    children (spans begun while this one topped the stack).
 
-    __slots__ = ("name", "start_ns", "end_ns", "attrs", "children", "tid")
+    ``pid`` is None for spans recorded in-process; spans adopted from a
+    pool worker (:meth:`Tracer.adopt`) carry the worker's pid so the
+    Chrome export lays them out on separate process tracks.  On Linux
+    ``perf_counter_ns`` is CLOCK_MONOTONIC — system-wide, not
+    per-process — so worker timestamps are directly comparable with the
+    driver's epoch."""
 
-    def __init__(self, name: str, start_ns: int, tid: int):
+    __slots__ = ("name", "start_ns", "end_ns", "attrs", "children", "tid",
+                 "pid")
+
+    def __init__(self, name: str, start_ns: int, tid: int,
+                 pid: Optional[int] = None):
         self.name = name
         self.start_ns = start_ns
         self.end_ns: Optional[int] = None
         self.attrs: Dict[str, Any] = {}
         self.children: List["Span"] = []
         self.tid = tid
+        self.pid = pid
 
     @property
     def duration_ns(self) -> int:
@@ -149,6 +159,24 @@ class Tracer:
                 del stack[i]
                 break
 
+    def adopt(self, span: Span) -> None:
+        """Graft a *completed* foreign span tree into this trace.
+
+        The parallel layer rebuilds worker spans driver-side (with their
+        worker ``pid``) and adopts them as extra roots, so one trace —
+        and one Chrome export — covers the whole fan-out.  The span and
+        all its descendants enter the flat ``spans`` list; nothing is
+        pushed on any thread's live stack (the foreign work is already
+        finished)."""
+        with self._lock:
+            self.roots.append(span)
+            stack = [span]
+            while stack:
+                s = stack.pop()
+                self.spans.append(s)
+                self.events += 1
+                stack.extend(s.children)
+
     # -------------------------------------------------------- counters/gauges
 
     def count(self, name: str, n: Any = 1) -> None:
@@ -178,6 +206,8 @@ class _NullSpan:
     children: List[Span] = []
     start_ns = end_ns = 0
     duration_ns = 0
+    pid = None
+    tid = 0
 
     def set(self, key: str, value: Any) -> None:
         pass

@@ -197,9 +197,12 @@ def test_doctor_environment_checks(capsys):
 
 def _bench_args(tmp_path, *extra):
     # tiny sub-decade sweep: fast, and the fitter's anti-flake rule makes
-    # the join-suite verdicts `inconclusive` — fine for plumbing tests
+    # the join-suite verdicts `inconclusive` — fine for plumbing tests.
+    # The parallel suite is off here (it has its own test below) so the
+    # plumbing tests stay fast and never touch the repo-root snapshot.
     return ["bench", "--sizes", "200", "400", "--triangle-sizes", "8",
             "12", "--max-outputs", "50", "--repeats", "1",
+            "--no-parallel-suite",
             "--history-dir", str(tmp_path / "hist"),
             "--snapshot", str(tmp_path / "BENCH_bench.json"), *extra]
 
@@ -223,6 +226,33 @@ def test_bench_command_records_history(tmp_path, capsys):
         assert record["schema"] == "repro-bench/1"
         assert record["provenance"]["git_sha"]
     assert len(load_snapshot(str(tmp_path / "BENCH_bench.json"))) == 5
+
+
+def test_bench_parallel_suite_records(tmp_path, capsys):
+    from repro.obs.observatory import Observatory, load_snapshot
+
+    args = ["bench", "--sizes", "200", "--triangle-sizes", "8",
+            "--max-outputs", "50", "--repeats", "1",
+            "--parallel-size", "500",
+            "--history-dir", str(tmp_path / "hist"),
+            "--snapshot", str(tmp_path / "BENCH_bench.json"),
+            "--parallel-snapshot", str(tmp_path / "BENCH_parallel.json")]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "parallel/count_wall" in out and "parallel/enum_wall" in out
+    records = Observatory(str(tmp_path / "hist")).load("parallel")
+    assert {r["case"] for r in records} \
+        == {"parallel/count_wall", "parallel/enum_wall"}
+    for record in records:
+        assert record["metric"] == "wall_seconds"
+        assert record["provenance"]["engine"] == "parallel"
+        for point in record["points"]:
+            assert point["speedup_x"] > 0
+    snapshot = load_snapshot(str(tmp_path / "BENCH_parallel.json"))
+    assert len(snapshot) == 2
+    # the bench snapshot carries only the join/triangle suites
+    assert all(r["suite"] == "bench"
+               for r in load_snapshot(str(tmp_path / "BENCH_bench.json")))
 
 
 def test_bench_requires_sizes(capsys):

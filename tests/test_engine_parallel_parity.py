@@ -1,0 +1,339 @@
+"""Parity suite for the parallel backend (shared-memory worker pool).
+
+The parallel engine's contract is *byte-level* equivalence with the
+serial columnar engine: the full reducer must keep the same rows in the
+same order, counts and weighted sums must agree, and block enumeration
+must emit the identical flat answer sequence — at every worker count.
+These tests force pool dispatch with a zero threshold so even tiny
+hypothesis instances exercise the sharded paths, and pin the degenerate
+shapes (empty relations, single-shard key skew, below-threshold
+fallback) directly.
+
+Worker pools are cached process-wide by worker count, so the spawn cost
+is paid once per module, not per example.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plancache import plan_cache_disabled
+from repro.counting.acq_count import count_acq, count_full_acyclic_join
+from repro.counting.weighted import WeightFunction
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.engine.columnar import ColumnarRelation, ValueDictionary
+from repro.engine.enumerate import BlockIterator
+from repro.engine.parallel import (
+    ParallelBlockIterator,
+    ParallelEngine,
+    parallel_full_reduce,
+)
+from repro.engine.shard import (
+    count_node_shard,
+    merge_count_messages,
+    semijoin_mask,
+    shard_ids,
+)
+from repro.enumeration.free_connex import FreeConnexEnumerator
+from repro.eval.naive import evaluate_cq_naive
+from repro.eval.yannakakis import full_reducer
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.jointree import build_join_tree
+from repro.logic.atoms import Atom
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.terms import Variable
+
+WORKER_COUNTS = (1, 2, 4)
+
+DOMAIN = st.integers(min_value=0, max_value=4)
+
+
+def _engine(workers: int) -> ParallelEngine:
+    # threshold=0 forces pool dispatch on arbitrarily small inputs
+    # (workers=1 still exercises the serial fallback inside the engine)
+    return ParallelEngine(workers=workers, threshold=0)
+
+
+def _rows(draw, arity, max_rows=10):
+    return draw(st.lists(
+        st.tuples(*([DOMAIN] * arity)), min_size=0, max_size=max_rows))
+
+
+@st.composite
+def acyclic_instance(draw):
+    """A random acyclic CQ with a random database (tree-structured atom
+    variable sets guarantee alpha-acyclicity by construction)."""
+    n_atoms = draw(st.integers(min_value=1, max_value=4))
+    atom_vars = []
+    fresh = 0
+    for i in range(n_atoms):
+        if i == 0:
+            shared = []
+        else:
+            parent = atom_vars[draw(st.integers(0, i - 1))]
+            shared = draw(st.lists(st.sampled_from(parent), min_size=1,
+                                   max_size=len(parent), unique=True))
+        n_fresh = draw(st.integers(min_value=0 if shared else 1, max_value=2))
+        mine = list(shared)
+        for _ in range(n_fresh):
+            mine.append(Variable(f"v{fresh}"))
+            fresh += 1
+        atom_vars.append(draw(st.permutations(mine)))
+
+    atoms = [Atom(f"R{i}", vs) for i, vs in enumerate(atom_vars)]
+    all_vars = sorted({v for vs in atom_vars for v in vs},
+                      key=lambda v: v.name)
+    head = draw(st.lists(st.sampled_from(all_vars), unique=True,
+                         max_size=len(all_vars)))
+    cq = ConjunctiveQuery(head, atoms)
+
+    db = Database()
+    for i, vs in enumerate(atom_vars):
+        db.add_relation(Relation(f"R{i}", len(vs), _rows(draw, len(vs))))
+    return cq, db
+
+
+def _path_relations(sizes, seed=3, dom=30):
+    """A three-atom path join R(x,y), S(y,z), T(z,w) on one dictionary."""
+    rng = random.Random(seed)
+    x, y, z, w = (Variable(n) for n in "xyzw")
+    d = ValueDictionary()
+    schemas = [(x, y), (y, z), (z, w)]
+    rels = [
+        ColumnarRelation(vs, [(rng.randrange(dom), rng.randrange(dom))
+                              for _ in range(n)], dictionary=d)
+        for vs, n in zip(schemas, sizes)
+    ]
+    return rels, (x, y, z, w)
+
+
+# ------------------------------------------------------- shard kernels
+
+
+def test_shard_ids_are_row_consistent_and_full_range():
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 50, size=5000)
+    b = rng.integers(0, 50, size=5000)
+    for shards in (1, 2, 4, 7):
+        sid = shard_ids([a, b], shards)
+        assert sid.min() >= 0 and sid.max() < shards
+        # same key values -> same shard, independent of row position
+        seen = {}
+        for i in range(len(a)):
+            key = (a[i], b[i])
+            assert seen.setdefault(key, sid[i]) == sid[i]
+    # one shard is the identity partition
+    assert not shard_ids([a], 1).any()
+
+
+def test_shard_ids_mix_avoids_residue_skew():
+    # keys that are all congruent mod 4 must still spread over 4 shards
+    keys = np.arange(0, 4000, 4, dtype=np.int64)
+    sid = shard_ids([keys], 4)
+    counts = np.bincount(sid, minlength=4)
+    assert (counts > 0).all()
+
+
+def test_semijoin_mask_matches_set_semantics():
+    rng = np.random.default_rng(1)
+    left = [rng.integers(0, 6, size=200), rng.integers(0, 6, size=200)]
+    right = [rng.integers(0, 6, size=40), rng.integers(0, 6, size=40)]
+    mask = semijoin_mask(left, right)
+    present = set(zip(right[0].tolist(), right[1].tolist()))
+    expect = np.array([(a, b) in present
+                       for a, b in zip(left[0], left[1])])
+    assert (mask == expect).all()
+
+
+def test_semijoin_mask_empty_sides():
+    a = np.array([1, 2, 3], dtype=np.int64)
+    empty = np.array([], dtype=np.int64)
+    assert semijoin_mask([a], [empty]).sum() == 0
+    assert semijoin_mask([empty], [a]).shape == (0,)
+
+
+def test_merge_count_messages_zero_key_adds_in_shard_order():
+    parts = [([], np.array([2.0])), ([], np.array([3.0])),
+             ([], np.array([0.5]))]
+    keys, sums = merge_count_messages(parts, 0)
+    assert keys == [] or all(len(k) == 0 for k in keys)
+    assert sums.tolist() == [5.5]
+
+
+def test_count_node_shard_sharded_equals_whole():
+    rng = np.random.default_rng(2)
+    cols = [rng.integers(0, 5, size=300), rng.integers(0, 5, size=300)]
+    whole_keys, whole_sums = count_node_shard(cols, None, [0], [1], [], None)
+    parts = []
+    for shard in range(3):
+        sel = shard_ids([cols[0]], 3) == shard
+        parts.append(count_node_shard(cols, sel, [0], [1], [], None))
+    keys, sums = merge_count_messages(parts, 1)
+    merged = dict(zip(keys[0].tolist(), sums.tolist()))
+    expect = dict(zip(whole_keys[0].tolist(), whole_sums.tolist()))
+    assert merged == expect
+
+
+# ------------------------------------------- reduce / count / enumerate
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_reduce_is_byte_identical(workers):
+    rels, _head = _path_relations([400, 400, 120])
+    h = Hypergraph({v for r in rels for v in r.variables},
+                   [frozenset(r.variables) for r in rels])
+    tree = build_join_tree(h)
+    serial = rels
+    for node in tree.bottom_up():
+        parent = tree.parent[node]
+        if parent is not None:
+            serial = list(serial)
+            serial[parent] = serial[parent].semijoin(serial[node])
+    for node in tree.top_down():
+        for child in tree.children[node]:
+            serial = list(serial)
+            serial[child] = serial[child].semijoin(serial[node])
+    reduced = parallel_full_reduce(tree, rels, engine=_engine(workers))
+    for s, p in zip(serial, reduced):
+        # identical rows in the identical (original) order
+        assert list(s) == list(p)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_count_and_weighted_parity(workers):
+    rels, _head = _path_relations([500, 500, 150], seed=9)
+    eng = _engine(workers)
+    assert count_full_acyclic_join(rels, engine=eng) \
+        == count_full_acyclic_join(rels)
+    wf = WeightFunction(lambda v: 2.0 if v % 2 == 0 else 0.5)
+    assert count_full_acyclic_join(rels, wf, engine=eng) \
+        == pytest.approx(count_full_acyclic_join(rels, wf))
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_enumeration_order_identical(workers):
+    rels, head = _path_relations([300, 300, 90], seed=5)
+    serial = list(BlockIterator(rels, head, block_size=32))
+    par = list(ParallelBlockIterator(rels, head, block_size=32,
+                                     engine=_engine(workers)))
+    assert serial == par
+
+
+def test_parallel_enumeration_restartable():
+    rels, head = _path_relations([200, 200, 60], seed=6)
+    serial = list(BlockIterator(rels, head, block_size=32))
+    it = ParallelBlockIterator(rels, head, block_size=32, engine=_engine(2))
+    assert list(it) == serial
+    assert list(it) == serial
+
+
+# ------------------------------------------------------ degenerate shards
+
+
+def test_parallel_reduce_empty_relation_annihilates():
+    rels, _head = _path_relations([200, 200, 60])
+    x, y = Variable("x"), Variable("y")
+    empty = ColumnarRelation([x, y], [], dictionary=rels[0].dictionary)
+    rels = [rels[0], rels[1], empty]
+    h = Hypergraph({v for r in rels for v in r.variables},
+                   [frozenset(r.variables) for r in rels])
+    tree = build_join_tree(h)
+    reduced = parallel_full_reduce(tree, rels, engine=_engine(2))
+    assert all(len(r) == 0 for r in reduced)
+
+
+def test_parallel_single_shard_key_skew():
+    # every tuple shares one join-key value: all semijoin work lands in
+    # one shard and the others must stay no-ops
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    d = ValueDictionary()
+    rng = random.Random(2)
+    R = ColumnarRelation([x, y], [(rng.randrange(50), 7)
+                                  for _ in range(300)], dictionary=d)
+    S = ColumnarRelation([y, z], [(7, rng.randrange(50))
+                                  for _ in range(300)], dictionary=d)
+    eng = _engine(4)
+    assert count_full_acyclic_join([R, S], engine=eng) \
+        == count_full_acyclic_join([R, S])
+    serial = list(BlockIterator([R, S], (x, y, z), block_size=64))
+    par = list(ParallelBlockIterator([R, S], (x, y, z), block_size=64,
+                                     engine=eng))
+    assert serial == par
+
+
+def test_below_threshold_falls_back_to_serial():
+    rels, _head = _path_relations([50, 50, 20])
+    eng = ParallelEngine(workers=2, threshold=10 ** 9)
+    assert not eng.should_parallelise(rels)
+    # the public paths still answer correctly through the serial kernels
+    assert count_full_acyclic_join(rels, engine=eng) \
+        == count_full_acyclic_join(rels)
+
+
+def test_workers_one_never_dispatches():
+    rels, _head = _path_relations([200, 200, 60])
+    eng = ParallelEngine(workers=1, threshold=0)
+    assert not eng.should_parallelise(rels)
+
+
+# --------------------------------------------------- end-to-end (planner)
+
+
+@settings(max_examples=20, deadline=None)
+@given(acyclic_instance())
+def test_query_parity_random_instances(instance):
+    """Random acyclic CQs: answers, counts, and enumeration all agree
+    between the serial columnar engine and a 2-worker pool forced on."""
+    cq, db = instance
+    eng = _engine(2)
+    with plan_cache_disabled():
+        expect = count_acq(cq, db, engine="columnar")
+        assert count_acq(cq, db, engine=eng) == expect
+        if not cq.is_boolean() and cq.is_free_connex():
+            serial = list(FreeConnexEnumerator(cq, db, engine="columnar"))
+            par = list(FreeConnexEnumerator(cq, db, engine=eng))
+            assert par == serial
+            assert set(par) == evaluate_cq_naive(cq, db)
+
+
+@pytest.mark.parametrize("workers", (2, 4))
+def test_free_connex_order_parity_medium(workers):
+    rng = random.Random(13)
+    db = Database.from_relations({
+        "R": [(rng.randrange(40), rng.randrange(40)) for _ in range(1500)],
+        "S": [(rng.randrange(40), rng.randrange(40)) for _ in range(1500)],
+    })
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    cq = ConjunctiveQuery([x, y, z], [Atom("R", (x, y)), Atom("S", (y, z))])
+    with plan_cache_disabled():
+        serial = list(FreeConnexEnumerator(cq, db, engine="columnar"))
+        par = list(FreeConnexEnumerator(cq, db, engine=_engine(workers)))
+    assert serial == par
+
+
+def test_plan_key_distinguishes_fanouts():
+    e2 = ParallelEngine(workers=2, threshold=0)
+    e4 = ParallelEngine(workers=4, threshold=0)
+    assert e2.plan_key() != e4.plan_key()
+    assert ParallelEngine(workers=2, threshold=0).plan_key() == e2.plan_key()
+
+
+def test_full_reducer_entry_point_parity():
+    rng = random.Random(17)
+    db = Database.from_relations({
+        "R": [(rng.randrange(30), rng.randrange(30)) for _ in range(1200)],
+        "S": [(rng.randrange(30), rng.randrange(30)) for _ in range(1200)],
+    })
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    cq = ConjunctiveQuery([x, y, z], [Atom("R", (x, y)), Atom("S", (y, z))])
+    with plan_cache_disabled():
+        _t, red_s = full_reducer(cq, db, engine="columnar")
+        _t, red_p = full_reducer(cq, db, engine=_engine(2))
+    for s, p in zip(red_s, red_p):
+        assert list(s) == list(p)
