@@ -126,9 +126,11 @@ def _select_engine(args: argparse.Namespace) -> None:
 def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
     """The shared enumeration-pipeline knobs (--engine and friends)."""
     p.add_argument("--engine", default=None,
-                   help="relational backend: tuple (default), columnar, or "
-                        "parallel (also via the REPRO_ENGINE environment "
-                        "variable)")
+                   help="relational backend: tuple (default), columnar, "
+                        "parallel, or compiled — radix hash kernels, "
+                        "numba-JITed when installed, numpy fallback "
+                        "otherwise (also via the REPRO_ENGINE "
+                        "environment variable)")
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for the parallel backend "
                         "(default: os.cpu_count(), env REPRO_WORKERS; "
@@ -667,13 +669,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
                                           size=args.parallel_size,
                                           repeats=args.repeats,
                                           seed=args.seed)
+        if args.compiled_suite:
+            from repro.obs.observatory import run_compiled_suite
+
+            records += run_compiled_suite(timestamp,
+                                          sizes=args.compiled_sizes,
+                                          repeats=args.repeats,
+                                          max_outputs=args.max_outputs,
+                                          seed=args.seed)
     finally:
         _obs_finish(args, tracer, previous)
     observatory = Observatory(args.history_dir)
+    snapshots = {"bench": args.snapshot, "parallel": args.parallel_snapshot,
+                 "compiled": args.compiled_snapshot}
     for record in records:
         observatory.append(record)
-        snapshot = args.snapshot if record["suite"] == "bench" \
-            else args.parallel_snapshot
+        snapshot = snapshots.get(record["suite"])
         if snapshot:
             merge_snapshot(snapshot, record)
     print(f"{'case':>26} {'n range':>16} {'slope [95% CI]':>22} "
@@ -797,6 +808,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "fixed instance")
     p.add_argument("--parallel-snapshot", default="BENCH_parallel.json",
                    help="snapshot file for the parallel suite "
+                        "('' disables)")
+    p.add_argument("--compiled-suite", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="also run the compiled-tier size sweep vs the "
+                        "columnar baseline (snapshot in "
+                        "--compiled-snapshot)")
+    p.add_argument("--compiled-sizes", type=int, nargs="+", default=None,
+                   help="tuples per relation for the compiled suite's "
+                        "size sweep (default 8k/25k/80k)")
+    p.add_argument("--compiled-snapshot", default="BENCH_compiled.json",
+                   help="snapshot file for the compiled suite "
                         "('' disables)")
     p.add_argument("--gate", choices=("off", "warn", "fail"),
                    default="warn",

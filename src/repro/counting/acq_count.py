@@ -110,9 +110,16 @@ def count_full_acyclic_join(relations: Sequence[VarRelation],
         eng = resolve_engine(engine)
         par = getattr(eng, "parallel_count", None)
         sharded = par is not None and eng.should_parallelise(relations)
+        # serial kernel override (the compiled engine's radix group
+        # tables); duck-typed like parallel_count
+        ckernel = getattr(eng, "count_acyclic", None)
         if unweighted:
             if sharded:
                 return par(relations, tree, charged, share_vars)
+            if ckernel is not None:
+                with obs.span("count.message_passing", backend=eng.name,
+                              nodes=len(relations)):
+                    return ckernel(relations, tree, charged, share_vars)
             with obs.span("count.message_passing", backend="columnar",
                           nodes=len(relations)):
                 return count_acyclic_join_columnar(relations, tree, charged,
@@ -128,6 +135,12 @@ def count_full_acyclic_join(relations: Sequence[VarRelation],
                 if sharded:
                     total = par(relations, tree, charged, share_vars,
                                 weight_table=table)
+                elif ckernel is not None:
+                    with obs.span("count.message_passing",
+                                  backend=f"{eng.name}_weighted",
+                                  nodes=len(relations)):
+                        total = ckernel(relations, tree, charged,
+                                        share_vars, weight_table=table)
                 else:
                     with obs.span("count.message_passing",
                                   backend="columnar_weighted",

@@ -13,7 +13,12 @@ on:
 * ``parallel`` — the columnar kernels fanned out over a spawn-based
   worker pool with shared-memory code columns (hash-sharded semijoins,
   counting and order-preserving block enumeration; serial fallback
-  below a tuple-count threshold — see :mod:`repro.engine.parallel`).
+  below a tuple-count threshold — see :mod:`repro.engine.parallel`);
+* ``compiled`` — the columnar layout on radix-partitioned hash kernels,
+  JIT-compiled with numba when installed (transparent numpy fallback
+  otherwise — ``REPRO_COMPILED_FALLBACK``), with probe structures shared
+  per relation *symbol* across self-join atoms (see
+  :mod:`repro.engine.compiled` and :mod:`repro.engine.radix`).
 
 Selection, in decreasing precedence:
 
@@ -31,6 +36,7 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Union
 
 from repro.engine.base import ColumnarEngine, Engine, TupleEngine
+from repro.engine.compiled import CompiledEngine, CompiledRelation
 from repro.engine.enumerate import (
     BLOCK_ENV_VAR,
     DEFAULT_BLOCK_SIZE,
@@ -50,6 +56,12 @@ from repro.engine.parallel import (
     pool_stats,
     set_default_workers,
     shutdown_pools,
+)
+from repro.engine.radix import (
+    FALLBACK_ENV_VAR,
+    HAVE_NUMBA,
+    RADIX_BITS_ENV_VAR,
+    kernel_tier,
 )
 
 DEFAULT_ENGINE = "tuple"
@@ -121,12 +133,19 @@ def resolve_engine(engine: Union[Engine, str, None]) -> Engine:
 register_engine(TupleEngine())
 register_engine(ColumnarEngine())
 register_engine(ParallelEngine())
+register_engine(CompiledEngine())
 
 __all__ = [
     "Engine",
     "TupleEngine",
     "ColumnarEngine",
+    "CompiledEngine",
+    "CompiledRelation",
     "ParallelEngine",
+    "kernel_tier",
+    "HAVE_NUMBA",
+    "FALLBACK_ENV_VAR",
+    "RADIX_BITS_ENV_VAR",
     "ParallelBlockIterator",
     "default_workers",
     "default_threshold",

@@ -100,7 +100,12 @@ class ColumnarEngine(Engine):
     def __init__(self, dictionary=None):
         from repro.engine.columnar import default_dictionary
 
-        self.dictionary = dictionary or default_dictionary()
+        # explicit None check: a freshly created (empty) ValueDictionary
+        # is falsy, and silently swapping it for the process-global one
+        # would leak every value the session ever encoded into callers
+        # that asked for isolation
+        self.dictionary = (dictionary if dictionary is not None
+                           else default_dictionary())
 
     def relation(self, variables: Sequence[Variable],
                  tuples: Optional[Iterable[Tup]] = None):

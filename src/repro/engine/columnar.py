@@ -295,6 +295,18 @@ class ColumnarRelation:
             obs.count("kernel.probe_cache_hits")
         return entry
 
+    def batch_probe(self, probe_vars: Sequence[Variable]):
+        """The batch probe structure over ``probe_vars``, memoised on the
+        relation (see :func:`repro.engine.enumerate.build_probe`).  The
+        compiled subclass overrides this with a position-keyed radix
+        table so probes are shared across same-symbol atoms."""
+        from repro.engine.enumerate import _BatchProbe
+
+        pv = tuple(probe_vars)
+        return self.cached_probe(
+            ("batch_probe", pv),
+            lambda: _BatchProbe([self.column(v) for v in pv], len(self)))
+
     def column(self, v: Variable) -> np.ndarray:
         """The code column of variable ``v``."""
         self._flush()
@@ -315,10 +327,10 @@ class ColumnarRelation:
             if other._dict is self._dict:
                 other._flush()
                 return other
-            return ColumnarRelation(other.variables, iter(other),
-                                    dictionary=self._dict)
-        return ColumnarRelation(other.variables, iter(other),
-                                dictionary=self._dict)
+            return type(self)(other.variables, iter(other),
+                              dictionary=self._dict)
+        return type(self)(other.variables, iter(other),
+                          dictionary=self._dict)
 
     # ----------------------------------------------------------------- basics
 
@@ -378,7 +390,7 @@ class ColumnarRelation:
 
     def copy(self) -> "ColumnarRelation":
         self._flush()
-        dup = ColumnarRelation.from_codes(
+        dup = type(self).from_codes(
             self.variables, self._columns, self._nrows, self._dict)
         # identical columns -> identical probes; share the cache (a
         # mutation on either side installs a fresh dict, leaving the
@@ -423,7 +435,7 @@ class ColumnarRelation:
         vars_out = tuple(variables)
         cols = [self._columns[self._positions[v]] for v in vars_out]
         dedupe = set(vars_out) != set(self.variables)
-        return ColumnarRelation.from_codes(
+        return type(self).from_codes(
             vars_out, cols, self._nrows, self._dict, dedupe=dedupe)
 
     def select_mask(self, mask: np.ndarray) -> "ColumnarRelation":
@@ -431,7 +443,7 @@ class ColumnarRelation:
         self._flush()
         cols = [c[mask] for c in self._columns]
         nrows = len(cols[0]) if cols else int(np.count_nonzero(mask))
-        return ColumnarRelation.from_codes(
+        return type(self).from_codes(
             self.variables, cols, nrows, self._dict)
 
     def semijoin(self, other: Any) -> "ColumnarRelation":
@@ -444,7 +456,7 @@ class ColumnarRelation:
         if not shared:
             if len(other):
                 return self.copy()
-            return ColumnarRelation(self.variables, dictionary=self._dict)
+            return type(self)(self.variables, dictionary=self._dict)
         n, m = self._nrows, other._nrows
         self_keys = [self._columns[self._positions[v]] for v in shared]
         other_keys = [other._columns[other._positions[v]] for v in shared]
@@ -486,7 +498,7 @@ class ColumnarRelation:
         cols += [other._columns[other._positions[v]][other_idx]
                  for v in extra]
         # distinct inputs joined on equal keys stay distinct: no dedupe
-        return ColumnarRelation.from_codes(
+        return type(self).from_codes(
             out_vars, cols, total, self._dict)
 
     def rename(self, mapping: Dict[Variable, Variable]) -> "ColumnarRelation":
@@ -506,7 +518,7 @@ class ColumnarRelation:
                 new_vars.append(nv)
         cols = [self._columns[source_pos[nv]][mask] for nv in new_vars]
         nrows = int(mask.sum())
-        return ColumnarRelation.from_codes(
+        return type(self).from_codes(
             tuple(new_vars), cols, nrows, self._dict, dedupe=True)
 
 
@@ -576,7 +588,9 @@ def materialise_atom_columnar(db, atom,
                               ) -> ColumnarRelation:
     """Vectorized counterpart of :func:`repro.eval.join.atom_to_varrelation`:
     constants and repeated variables become boolean column masks."""
-    dictionary = dictionary or default_dictionary()
+    # None check, not truthiness: an empty ValueDictionary is falsy but
+    # still the dictionary the caller asked to encode into
+    dictionary = dictionary if dictionary is not None else default_dictionary()
     rel = db.relation(atom.relation)
     if rel.arity != atom.arity:
         raise SchemaMismatchError(

@@ -243,6 +243,113 @@ def _dispose_arenas() -> None:  # pragma: no cover - exit path
             pass
 
 
+# -------------------------------------------------------------- arena cache
+#
+# Publishing an arena copies O(|D|) bytes into shared memory — by far the
+# dominant fixed cost of a parallel operation (BENCH_parallel's 0.29x at
+# 2 workers was mostly publish + spawn).  Code columns are immutable
+# (mutation builds new relations), so an arena over a given set of column
+# arrays stays valid for as long as those arrays live: the cache below
+# keys on the column arrays' identities — the same identity+length
+# fingerprint scheme PlanCache uses for stored relations — and pins the
+# arrays against id reuse.  A second operation over the same columns
+# (count then reduce in one query, or any warm-plan re-run on the same
+# db version) attaches to the already-published segment instead of
+# copying again.  Alive masks are *mutated* during reduction, so they
+# are never cached: reduction publishes a small separate mask arena per
+# call and disposes it in its ``finally``.
+
+#: distinct column sets kept published at once (LRU beyond this)
+ARENA_CACHE_LIMIT = 4
+
+
+class _ArenaCacheEntry:
+    __slots__ = ("key", "arena", "pins", "refs", "dead")
+
+    def __init__(self, key: Tuple, arena: ShmArena,
+                 pins: List[np.ndarray]):
+        self.key = key
+        self.arena = arena
+        self.pins = pins  # strong refs: cached ids cannot be reused
+        self.refs = 0
+        self.dead = False
+
+
+_ARENA_CACHE: "OrderedDict[Tuple, _ArenaCacheEntry]" = OrderedDict()
+
+
+def _acquire_column_arena(relations: Sequence[Any]
+                          ) -> Tuple[_ArenaCacheEntry, List[List[int]]]:
+    """The shared-memory arena holding every relation's code columns.
+
+    Returns ``(entry, col_index)`` with ``col_index[r][p]`` the flat
+    arena slot of relation ``r``'s column ``p``.  The entry's refcount
+    is incremented; callers must pair with :func:`_release_arena`
+    (unlink of an evicted segment is deferred to the last release).
+    """
+    cols_per_rel = [rel.code_columns() for rel in relations]
+    flat: List[np.ndarray] = []
+    col_index: List[List[int]] = []
+    for cols in cols_per_rel:
+        idx = []
+        for c in cols:
+            idx.append(len(flat))
+            flat.append(c)
+        col_index.append(idx)
+    key = tuple((id(c), len(c)) for c in flat)
+    entry = _ARENA_CACHE.get(key)
+    if entry is not None:
+        _ARENA_CACHE.move_to_end(key)
+        entry.refs += 1
+        obs.count("parallel.arena_cache_hits")
+        return entry, col_index
+    obs.count("parallel.arena_cache_misses")
+    with obs.span("parallel.arena_publish", arrays=len(flat)):
+        arena = ShmArena.publish(flat)
+    entry = _ArenaCacheEntry(key, arena, flat)
+    entry.refs = 1
+    _ARENA_CACHE[key] = entry
+    while len(_ARENA_CACHE) > ARENA_CACHE_LIMIT:
+        _old_key, old = _ARENA_CACHE.popitem(last=False)
+        obs.count("parallel.arena_cache_evictions")
+        old.dead = True
+        if old.refs <= 0:
+            old.arena.dispose()
+    return entry, col_index
+
+
+def _release_arena(entry: Optional[_ArenaCacheEntry]) -> None:
+    """Drop one reference; disposes evicted/invalidated segments once
+    the last in-flight operation lets go."""
+    if entry is None:
+        return
+    entry.refs -= 1
+    if entry.dead and entry.refs <= 0:
+        entry.arena.dispose()
+
+
+def invalidate_arena_cache() -> None:
+    """Explicitly drop every cached arena (segments with in-flight
+    operations are unlinked at their release).  Called on pool respawn
+    and shutdown so a crashed worker generation never pins stale
+    shared-memory registrations through the atexit cleanup."""
+    while _ARENA_CACHE:
+        _key, entry = _ARENA_CACHE.popitem(last=False)
+        entry.dead = True
+        if entry.refs <= 0:
+            entry.arena.dispose()
+
+
+def arena_cache_stats() -> Dict[str, Any]:
+    """Live cache inventory (doctor/metrics surfaces and tests)."""
+    return {
+        "entries": len(_ARENA_CACHE),
+        "bytes": sum(e.arena.shm.size for e in _ARENA_CACHE.values()),
+        "refs": {i: e.refs for i, e in enumerate(_ARENA_CACHE.values())},
+        "limit": ARENA_CACHE_LIMIT,
+    }
+
+
 # ------------------------------------------------------------------ workers
 
 
@@ -304,13 +411,17 @@ def _worker_arena(descriptor) -> ShmArena:
 
 
 def _task_reduce_step(payload: Dict[str, Any], _results, _tid) -> Dict[str, Any]:
-    """One shard of one semijoin step: kill non-matching alive left rows."""
-    arena = _worker_arena(payload["arena"])
-    arr = arena.arrays
+    """One shard of one semijoin step: kill non-matching alive left rows.
+
+    Columns come from the (cached, immutable) column arena; the alive
+    masks live in a small per-operation mask arena (``marena``) because
+    they are mutated in place."""
+    arr = _worker_arena(payload["arena"]).arrays
+    masks = _worker_arena(payload["marena"]).arrays
     left_keys = [arr[i] for i in payload["left_keys"]]
-    left_mask = arr[payload["left_mask"]]
+    left_mask = masks[payload["left_mask"]]
     right_keys = [arr[i] for i in payload["right_keys"]]
-    right_mask = arr[payload["right_mask"]]
+    right_mask = masks[payload["right_mask"]]
     num_shards, shard = payload["shards"], payload["shard"]
     with obs.span("parallel.reduce_step", phase=payload["phase"],
                   node=payload["node"], shard=shard):
@@ -363,7 +474,10 @@ def _task_enum_chunk(payload: Dict[str, Any], results, tid) -> Dict[str, Any]:
 
     probes = []
     for li, level in enumerate(levels):
-        key = (arena_name, plan["plan_id"], li)
+        # keyed on (segment, column slots, rows): cached column arenas
+        # are immutable, so any plan over the same columns — a different
+        # iterator, a warm re-run — reuses the built probe
+        key = (arena_name, tuple(level["probe_cols"]), level["nrows"])
         probe = _WORKER_PROBES.get(key)
         if probe is None:
             from repro.engine.enumerate import _BatchProbe
@@ -449,6 +563,24 @@ def _worker_main(worker_index: int, tasks, results) -> None:
             break
         kind, tid, payload = msg
         try:
+            if kind == "batch":
+                # one queue message, several tasks: run them sequentially
+                # and ship one result list back (one round-trip per wave)
+                if any(p.get("trace") for _k, p in payload):
+                    with obs.capture() as tracer:
+                        with obs.span("parallel.worker", worker=worker_index,
+                                      task="batch", items=len(payload)):
+                            outs = [_HANDLERS[k](p, results, tid)
+                                    for k, p in payload]
+                    meta = {"pid": os.getpid(),
+                            "spans": [_serialise_span(s)
+                                      for s in tracer.roots],
+                            "counters": dict(tracer.counters)}
+                else:
+                    outs = [_HANDLERS[k](p, results, tid) for k, p in payload]
+                    meta = None
+                results.put(("ok", tid, outs, meta))
+                continue
             handler = _HANDLERS[kind]
             if payload.get("trace"):
                 with obs.capture() as tracer:
@@ -505,6 +637,42 @@ class WorkerPool:
         self.tasks.put((kind, tid, payload))
         obs.count("parallel.tasks")
         return tid
+
+    def post_batch(self, items: Sequence[Tuple[str, Dict[str, Any]]]) -> int:
+        """One queue message carrying several tasks for one worker, run
+        sequentially there; the result payload is the list of per-item
+        results in item order."""
+        tid = self._next_id
+        self._next_id += 1
+        self.tasks.put(("batch", tid, list(items)))
+        obs.count("parallel.batches")
+        obs.count("parallel.tasks", len(items))
+        return tid
+
+    def gather_batches(self, batches: Sequence[Sequence[
+            Tuple[str, Dict[str, Any]]]]) -> List[List[Any]]:
+        """Run one batch per entry (normally one per worker), returning
+        per-batch result lists in batch order.  A whole semijoin wave
+        costs one queue round-trip per worker instead of one per task."""
+        expected: Dict[int, int] = {}
+        for i, items in enumerate(batches):
+            expected[self.post_batch(items)] = i
+        out: List[Any] = [None] * len(batches)
+        remaining = len(expected)
+        while remaining:
+            msg = self.recv()
+            if msg[0] == "block":  # stale stream from an abandoned iterator
+                continue
+            status, tid = msg[0], msg[1]
+            if tid not in expected:
+                continue
+            if status == "err":
+                raise ParallelExecutionError(
+                    f"parallel batch failed in a pool worker:\n{msg[2]}")
+            out[expected.pop(tid)] = msg[2]
+            _absorb_meta(msg[3])
+            remaining -= 1
+        return out
 
     def recv(self) -> Tuple:
         """Next result message; raises if a worker process died."""
@@ -567,9 +735,17 @@ def get_pool(workers: int) -> WorkerPool:
     respawned if its processes died)."""
     pool = _POOLS.get(workers)
     if pool is not None and pool.alive():
+        obs.count("parallel.pool_reuse")
         return pool
     if pool is not None:  # pragma: no cover - crashed pool
+        # a dead worker generation may still hold attachments to cached
+        # segments; drop the cache so its shared-memory registrations
+        # cannot leak into the next generation's lifetime
+        obs.count("parallel.pool_respawn")
+        invalidate_arena_cache()
         pool.shutdown()
+    else:
+        obs.count("parallel.pool_spawn")
     with obs.span("parallel.pool_start", workers=workers):
         pool = WorkerPool(workers)
         # synchronise on worker imports finishing, so the first real
@@ -588,12 +764,15 @@ def pool_stats() -> Dict[str, Any]:
         "alive": {w: p.alive() for w, p in _POOLS.items()},
         "default_workers": default_workers(),
         "threshold": default_threshold(),
+        "arena_cache": arena_cache_stats(),
     }
 
 
 @atexit.register
 def shutdown_pools() -> None:
-    """Stop every pool (atexit; also callable from tests)."""
+    """Stop every pool and drop cached arenas (atexit; also callable
+    from tests)."""
+    invalidate_arena_cache()
     for pool in list(_POOLS.values()):
         try:
             pool.shutdown()
@@ -605,36 +784,21 @@ def shutdown_pools() -> None:
 # --------------------------------------------------------------- operations
 
 
-def _publish_relations(relations: Sequence[Any], masks: bool
-                       ) -> Tuple[ShmArena, List[List[int]], List[int]]:
-    """Publish every relation's code columns (and optional alive masks)
-    into one arena; returns (arena, per-relation column flat-indexes,
-    per-relation mask flat-index)."""
-    arrays: List[np.ndarray] = []
-    col_index: List[List[int]] = []
-    mask_index: List[int] = []
-    for rel in relations:
-        cols = rel.code_columns()
-        idx = []
-        for c in cols:
-            idx.append(len(arrays))
-            arrays.append(c)
-        col_index.append(idx)
-    if masks:
-        for rel in relations:
-            mask_index.append(len(arrays))
-            arrays.append(np.ones(len(rel), dtype=bool))
-    return ShmArena.publish(arrays), col_index, mask_index
-
-
 def parallel_full_reduce(tree, relations: Sequence[Any], *,
                          engine: "ParallelEngine") -> List[Any]:
-    """The Yannakakis semijoin program, each step hash-sharded.
+    """The Yannakakis semijoin program, hash-sharded in batched waves.
 
-    Preserves the serial step order (bottom-up then top-down) with a
-    barrier per step; survival is written into shared alive masks at
-    disjoint rows, so the final masked relations are byte-identical to
-    the serial reducer's output (same rows, same original order).
+    Serial step order (bottom-up then top-down) is preserved *as
+    observed*: consecutive steps are grouped into a wave while they
+    touch disjoint state — a step joins the wave only if its written
+    relation is neither written nor read by the wave and its read
+    relation is not written by it, so every step still sees exactly the
+    masks the serial program would have shown it.  One wave is one queue
+    round-trip per worker (``WorkerPool.gather_batches``) instead of one
+    per step, and the relation columns come from the process-wide arena
+    cache — only the small mutable alive masks are published per call.
+    The final masked relations are byte-identical to the serial
+    reducer's output (same rows, same original order).
     """
     from repro.engine.columnar import ColumnarRelation
 
@@ -654,12 +818,41 @@ def parallel_full_reduce(tree, relations: Sequence[Any], *,
 
     with obs.span("parallel.full_reduce", nodes=len(relations),
                   workers=num_shards, steps=len(steps)):
-        arena, col_index, mask_index = _publish_relations(relations,
-                                                          masks=True)
+        entry, col_index = _acquire_column_arena(relations)
+        arena = entry.arena
+        mask_arena = ShmArena.publish(
+            [np.ones(len(r), dtype=bool) for r in relations])
         try:
-            mask_views = [arena.arrays[i] for i in mask_index]
+            mask_views = mask_arena.arrays
             counts = [len(r) for r in relations]
+
+            # the pending wave: per step, one payload per shard
+            wave: List[Tuple[int, List[Dict[str, Any]]]] = []
+            writers: set = set()
+            readers: set = set()
+
+            def flush() -> None:
+                if not wave:
+                    return
+                batches: List[List[Tuple[str, Dict[str, Any]]]] = \
+                    [[] for _ in range(num_shards)]
+                for _left, payloads in wave:
+                    for shard, p in enumerate(payloads):
+                        batches[shard].append(("reduce_step", p))
+                with obs.span("parallel.reduce_wave", steps=len(wave),
+                              workers=num_shards):
+                    results = pool.gather_batches(batches)
+                obs.count("parallel.waves")
+                for i, (left, _payloads) in enumerate(wave):
+                    counts[left] = sum(results[s][i]["kept"]
+                                       for s in range(num_shards))
+                wave.clear()
+                writers.clear()
+                readers.clear()
+
             for left, right, phase in steps:
+                if left in writers or left in readers or right in writers:
+                    flush()
                 lrel, rrel = relations[left], relations[right]
                 shared = [v for v in lrel.variables
                           if rrel.has_variable(v)]
@@ -682,7 +875,9 @@ def parallel_full_reduce(tree, relations: Sequence[Any], *,
                 right_keys = [col_index[right][rrel.position(v)]
                               for v in shared]
                 if counts[left] + counts[right] <= STEP_SERIAL_CUTOFF:
-                    # tiny step: dispatch overhead beats the work
+                    # tiny step, run inline: it conflicts with nothing
+                    # pending (checked above), so it commutes with the
+                    # open wave
                     lm, rm = mask_views[left], mask_views[right]
                     li = np.flatnonzero(lm)
                     keep = semijoin_mask(
@@ -692,21 +887,22 @@ def parallel_full_reduce(tree, relations: Sequence[Any], *,
                     counts[left] = int(np.count_nonzero(keep))
                     obs.count("parallel.inline_steps")
                     continue
-                results = pool.gather([
-                    ("reduce_step", {
-                        "arena": arena.descriptor,
-                        "left_keys": left_keys,
-                        "left_mask": mask_index[left],
-                        "right_keys": right_keys,
-                        "right_mask": mask_index[right],
-                        "shard": shard,
-                        "shards": num_shards,
-                        "phase": phase,
-                        "node": left,
-                        "trace": trace,
-                    }) for shard in range(num_shards)
-                ])
-                counts[left] = sum(r["kept"] for r in results)
+                wave.append((left, [{
+                    "arena": arena.descriptor,
+                    "marena": mask_arena.descriptor,
+                    "left_keys": left_keys,
+                    "left_mask": left,
+                    "right_keys": right_keys,
+                    "right_mask": right,
+                    "shard": shard,
+                    "shards": num_shards,
+                    "phase": phase,
+                    "node": left,
+                    "trace": trace,
+                } for shard in range(num_shards)]))
+                writers.add(left)
+                readers.add(right)
+            flush()
             reduced = []
             for rel, mask in zip(relations, mask_views):
                 if isinstance(rel, ColumnarRelation):
@@ -715,7 +911,8 @@ def parallel_full_reduce(tree, relations: Sequence[Any], *,
                     raise TypeError("parallel reduce needs columnar inputs")
             return reduced
         finally:
-            arena.dispose()
+            mask_arena.dispose()
+            _release_arena(entry)
 
 
 def parallel_count(relations: Sequence[Any], tree,
@@ -735,56 +932,92 @@ def parallel_count(relations: Sequence[Any], tree,
     trace = obs.enabled()
     with obs.span("parallel.count", nodes=len(relations),
                   workers=num_shards):
-        arena, col_index, _masks = _publish_relations(relations, masks=False)
+        entry, col_index = _acquire_column_arena(relations)
+        arena = entry.arena
         try:
-            messages: Dict[int, Tuple[List[np.ndarray], np.ndarray]] = {}
+            # siblings at one tree depth are independent (a node needs
+            # only its children's merged messages), so each depth is one
+            # batched wave: worker ``s`` runs shard ``s`` of every node
+            # of the level in one queue round-trip
+            depth = {tree.root: 0}
+            for node in tree.top_down():
+                for child in tree.children[node]:
+                    depth[child] = depth[node] + 1
+            levels: Dict[int, List[int]] = {}
             for node in tree.bottom_up():
-                rel = relations[node]
-                n = len(rel)
-                share_pos = [rel.position(v) for v in share_vars[node]]
-                charged_pos = [rel.position(v) for v in charged[node]]
-                children = [
-                    ([rel.position(v) for v in share_vars[c]],
-                     messages[c][0], messages[c][1])
-                    for c in tree.children[node]
-                ]
-                if n <= STEP_SERIAL_CUTOFF:
-                    obs.count("parallel.inline_steps")
-                    messages[node] = count_node_shard(
-                        rel.code_columns(), None, share_pos, charged_pos,
-                        children, weight_table)
+                levels.setdefault(depth[node], []).append(node)
+            messages: Dict[int, Tuple[List[np.ndarray], np.ndarray]] = {}
+            for d in sorted(levels, reverse=True):
+                pending: List[Tuple[int, int, int]] = []  # node, nshare, parts
+                batches: List[List[Tuple[str, Dict[str, Any]]]] = \
+                    [[] for _ in range(num_shards)]
+                where: Dict[Tuple[int, int], Tuple[int, int]] = {}
+                for node in levels[d]:
+                    rel = relations[node]
+                    n = len(rel)
+                    share_pos = [rel.position(v) for v in share_vars[node]]
+                    charged_pos = [rel.position(v) for v in charged[node]]
+                    children = [
+                        ([rel.position(v) for v in share_vars[c]],
+                         messages[c][0], messages[c][1])
+                        for c in tree.children[node]
+                    ]
+                    if n <= STEP_SERIAL_CUTOFF:
+                        obs.count("parallel.inline_steps")
+                        messages[node] = count_node_shard(
+                            rel.code_columns(), None, share_pos, charged_pos,
+                            children, weight_table)
+                        continue
+                    if share_pos:
+                        specs = [{"range": None, "shard": s}
+                                 for s in range(num_shards)]
+                    else:
+                        bounds = [n * i // num_shards
+                                  for i in range(num_shards + 1)]
+                        specs = [{"range": (bounds[i], bounds[i + 1]),
+                                  "shard": i}
+                                 for i in range(num_shards)
+                                 if bounds[i] < bounds[i + 1]]
+                    for s, spec in enumerate(specs):
+                        where[(node, s)] = (s, len(batches[s]))
+                        batches[s].append(("count_node", {
+                            "arena": arena.descriptor,
+                            "cols": col_index[node],
+                            "share_pos": share_pos,
+                            "charged_pos": charged_pos,
+                            "children": children,
+                            "weight_table": weight_table,
+                            "shards": num_shards,
+                            "node": node,
+                            "trace": trace,
+                            **spec,
+                        }))
+                    pending.append((node, len(share_pos), len(specs)))
+                if not pending:
                     continue
-                if share_pos:
-                    specs = [{"range": None, "shard": s}
-                             for s in range(num_shards)]
-                else:
-                    bounds = [n * i // num_shards
-                              for i in range(num_shards + 1)]
-                    specs = [{"range": (bounds[i], bounds[i + 1]), "shard": i}
-                             for i in range(num_shards)
-                             if bounds[i] < bounds[i + 1]]
-                parts = pool.gather([
-                    ("count_node", {
-                        "arena": arena.descriptor,
-                        "cols": col_index[node],
-                        "share_pos": share_pos,
-                        "charged_pos": charged_pos,
-                        "children": children,
-                        "weight_table": weight_table,
-                        "shards": num_shards,
-                        "node": node,
-                        "trace": trace,
-                        **spec,
-                    }) for spec in specs
-                ])
-                messages[node] = merge_count_messages(parts, len(share_pos))
+                # worker s's batch holds shard s of each pending node in
+                # pending order; nodes with fewer parts (contiguous
+                # ranges) simply stop contributing to higher workers
+                rows = {s: i for i, s in enumerate(
+                    s for s, b in enumerate(batches) if b)}
+                with obs.span("parallel.count_wave", depth=d,
+                              nodes=len(pending)):
+                    results = pool.gather_batches(
+                        [b for b in batches if b])
+                obs.count("parallel.waves")
+                for node, nshare, nparts in pending:
+                    parts = []
+                    for s in range(nparts):  # shard order, as the merge needs
+                        shard, pos = where[(node, s)]
+                        parts.append(results[rows[shard]][pos])
+                    messages[node] = merge_count_messages(parts, nshare)
             _keys, root_sums = messages[tree.root]
             if len(root_sums) == 0:
                 return 0
             root = root_sums[0]
             return float(root) if weight_table is not None else int(root)
         finally:
-            arena.dispose()
+            _release_arena(entry)
 
 
 # -------------------------------------------------------------- enumeration
@@ -863,21 +1096,16 @@ class ParallelBlockIterator:
             raise ValueError(
                 f"head variables {[v.name for v in missing]} do not occur "
                 "in any relation")
-        self._arena: Optional[ShmArena] = None
+        self._entry: Optional[_ArenaCacheEntry] = None
         self._plan: Optional[Dict[str, Any]] = None
 
-    _PLAN_SEQ = 0
-
     def _ensure_plan(self) -> Tuple[ShmArena, Dict[str, Any]]:
-        if self._arena is not None:
-            return self._arena, self._plan
-        arena, col_index, _masks = _publish_relations(self._relations,
-                                                      masks=False)
+        if self._entry is not None:
+            return self._entry.arena, self._plan
+        entry, col_index = _acquire_column_arena(self._relations)
         root = self._order[0]
         root_rel = self._relations[root]
-        ParallelBlockIterator._PLAN_SEQ += 1
         plan = {
-            "plan_id": ParallelBlockIterator._PLAN_SEQ,
             "block_size": self.block_size,
             "nslots": len(self._slots),
             "root_cols": [col_index[root][root_rel.position(v)]
@@ -899,8 +1127,8 @@ class ParallelBlockIterator:
                 "fresh_slots": [self._slots[v]
                                 for v in level["fresh_vars"]],
             })
-        self._arena, self._plan = arena, plan
-        return arena, plan
+        self._entry, self._plan = entry, plan
+        return entry.arena, plan
 
     def blocks(self) -> Iterator[List[Tup]]:
         """Yield answer blocks in the serial iterator's exact order."""
@@ -974,10 +1202,10 @@ class ParallelBlockIterator:
             yield from block
 
     def __del__(self) -> None:  # pragma: no cover - GC timing
-        arena = getattr(self, "_arena", None)
-        if arena is not None:
+        entry = getattr(self, "_entry", None)
+        if entry is not None:
             try:
-                arena.dispose()
+                _release_arena(entry)
             except Exception:
                 pass
 

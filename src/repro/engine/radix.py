@@ -1,0 +1,386 @@
+"""Radix-partitioned hash-join kernels for the ``compiled`` engine tier.
+
+The columnar backend's probe structures are sort-based: ``_BatchProbe``
+packs the key columns into one dense int64 key per row and argsorts
+(:mod:`repro.engine.enumerate`), and the semijoin re-groups both sides
+with ``np.unique`` on every call.  Sorting costs an O(log n) factor the
+paper's RAM-model bounds do not pay, and ``searchsorted`` probes take a
+cache miss per binary-search level.  This module replaces both with the
+classic radix-partitioned hash join:
+
+1. **hash** every row with the splitmix64 finaliser already used for
+   shard assignment (:mod:`repro.engine.shard` — same constants, same
+   per-column fold, so one mixing function serves sharding and joining);
+2. **partition** rows by the top ``bits`` hash bits into cache-sized
+   buckets (fan-out chosen so a partition's table fits ~L2);
+3. build one **open-addressing table** per partition (linear probing,
+   load factor <= 1/2), assigning dense group ids in row order;
+4. **probe** by re-hashing the probe side and walking only its row's
+   partition.
+
+Everything hot is written as a plain-Python loop nest over preallocated
+numpy arrays in the numba-compatible subset and JIT-compiled with
+``numba.njit`` when numba is importable.  Without numba the loops would
+run interpreted — orders of magnitude too slow — so the engine layer
+falls back to the existing vectorized sort-based kernels instead
+(:class:`~repro.engine.enumerate._BatchProbe` et al.); the uncompiled
+kernels stay importable and are exercised on small inputs by the test
+suite, which pins the radix algorithm against the sort-based reference
+without needing numba in the container.
+
+Knobs
+-----
+``REPRO_COMPILED_FALLBACK``
+    ``auto`` (default: numba when importable, else the numpy fallback),
+    ``numpy`` (force the fallback even with numba present — the parity
+    escape hatch), ``numba`` (require the JIT; raise when absent).
+``REPRO_RADIX_BITS``
+    Explicit partition fan-out (``2**bits`` partitions) overriding the
+    cache-sized default of :func:`radix_bits`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.engine.shard import _GOLDEN, _MIX_MULT_1, _MIX_MULT_2
+
+FALLBACK_ENV_VAR = "REPRO_COMPILED_FALLBACK"
+RADIX_BITS_ENV_VAR = "REPRO_RADIX_BITS"
+
+#: target rows per partition: 8192 rows of int64 keys ~= 64 KiB per key
+#: column, sized so one partition's table stays L2-resident
+_PARTITION_TARGET_ROWS = 8192
+
+#: fan-out ceiling — beyond 2**12 partitions the counting-sort passes
+#: start paying more than the locality wins
+_MAX_RADIX_BITS = 12
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+
+    HAVE_NUMBA = True
+except ImportError:  # the container default: fall back to numpy kernels
+    _numba = None
+    HAVE_NUMBA = False
+
+
+def kernel_tier() -> str:
+    """Resolve the active kernel tier: ``"numba"`` or ``"numpy"``.
+
+    Consults ``REPRO_COMPILED_FALLBACK`` on every call so tests and
+    subprocesses can flip the tier without touching code (mirrors how
+    ``REPRO_ENGINE`` is resolved).
+    """
+    mode = os.environ.get(FALLBACK_ENV_VAR, "").strip().lower() or "auto"
+    if mode == "auto":
+        return "numba" if HAVE_NUMBA else "numpy"
+    if mode in ("numpy", "fallback"):
+        return "numpy"
+    if mode in ("numba", "jit"):
+        if not HAVE_NUMBA:
+            raise ValueError(
+                f"{FALLBACK_ENV_VAR}={mode!r} requires numba, which is not "
+                "importable in this environment")
+        return "numba"
+    raise ValueError(
+        f"{FALLBACK_ENV_VAR} must be auto, numpy or numba, got {mode!r}")
+
+
+def radix_bits(nrows: int) -> int:
+    """Partition fan-out exponent for a build side of ``nrows`` rows.
+
+    ``REPRO_RADIX_BITS`` overrides; the default grows the fan-out so a
+    partition holds about :data:`_PARTITION_TARGET_ROWS` rows, clamped
+    to ``[1, _MAX_RADIX_BITS]``.
+    """
+    env = os.environ.get(RADIX_BITS_ENV_VAR)
+    if env:
+        try:
+            bits = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{RADIX_BITS_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+        return min(max(bits, 1), 16)
+    bits = 1
+    while (nrows >> bits) > _PARTITION_TARGET_ROWS and bits < _MAX_RADIX_BITS:
+        bits += 1
+    return bits
+
+
+# ----------------------------------------------------------------- kernels
+#
+# Plain-Python loop nests in the numba-compatible subset; ``_jit`` below
+# wraps them with ``numba.njit`` when available.  All uint64 arithmetic
+# wraps (callers silence numpy's scalar-overflow warning when running
+# the uncompiled versions).
+
+
+def _hash_rows_kernel(keys: np.ndarray, out: np.ndarray) -> None:
+    """splitmix64 per row of a (n, k) int64 key matrix — the same
+    per-column ``_mix(h ^ col)`` fold as :func:`repro.engine.shard
+    .shard_ids`, one row at a time."""
+    n, k = keys.shape
+    for i in range(n):
+        h = _GOLDEN
+        for j in range(k):
+            h = h ^ np.uint64(keys[i, j])
+            h = h ^ (h >> np.uint64(30))
+            h = h * _MIX_MULT_1
+            h = h ^ (h >> np.uint64(27))
+            h = h * _MIX_MULT_2
+            h = h ^ (h >> np.uint64(31))
+        out[i] = h
+
+
+def _build_kernel(keys: np.ndarray, hashes: np.ndarray, bits: int
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                             np.ndarray, np.ndarray, np.ndarray]:
+    """Partition + per-partition open-addressing build.
+
+    Returns ``(slots, tstart, group_of, gfirst, gstart, order)``:
+
+    * ``slots``/``tstart`` — the flat table: partition ``p`` owns slots
+      ``[tstart[p], tstart[p+1])`` (a power-of-two region, load <= 1/2),
+      each slot holding a group id or -1;
+    * ``group_of[i]`` — dense group id of row ``i``, assigned in first-
+      seen row order (deterministic across runs and processes);
+    * ``gfirst[g]`` — representative row of group ``g`` (key equality is
+      checked against it, so hash collisions are exact);
+    * ``gstart``/``order`` — rows regrouped contiguously per group,
+      insertion order preserved inside a group (the same contract as the
+      stable argsort in ``_BatchProbe``).
+    """
+    n, k = keys.shape
+    npart = 1 << bits
+    shift = np.uint64(64 - bits)
+    part = np.empty(n, np.int64)
+    psize = np.zeros(npart, np.int64)
+    for i in range(n):
+        p = np.int64(hashes[i] >> shift)
+        part[i] = p
+        psize[p] += 1
+    tstart = np.empty(npart + 1, np.int64)
+    tstart[0] = 0
+    for p in range(npart):
+        cap = 2
+        while cap < 2 * psize[p]:
+            cap <<= 1
+        tstart[p + 1] = tstart[p] + cap
+    slots = np.full(tstart[npart], -1, np.int64)
+    group_of = np.empty(n, np.int64)
+    gfirst = np.empty(n if n else 1, np.int64)
+    gsize = np.zeros(n if n else 1, np.int64)
+    ngroups = 0
+    for i in range(n):
+        base = tstart[part[i]]
+        cap = tstart[part[i] + 1] - base
+        capmask = np.uint64(cap - 1)
+        s = np.int64(hashes[i] & capmask)
+        while True:
+            g = slots[base + s]
+            if g == -1:
+                slots[base + s] = ngroups
+                gfirst[ngroups] = i
+                group_of[i] = ngroups
+                gsize[ngroups] += 1
+                ngroups += 1
+                break
+            r = gfirst[g]
+            same = True
+            for j in range(k):
+                if keys[i, j] != keys[r, j]:
+                    same = False
+                    break
+            if same:
+                group_of[i] = g
+                gsize[g] += 1
+                break
+            s += 1
+            if s == cap:
+                s = 0
+    gstart = np.empty(ngroups + 1, np.int64)
+    gstart[0] = 0
+    for g in range(ngroups):
+        gstart[g + 1] = gstart[g] + gsize[g]
+    fill = gstart[:ngroups].copy()
+    order = np.empty(n, np.int64)
+    for i in range(n):
+        g = group_of[i]
+        order[fill[g]] = i
+        fill[g] += 1
+    return slots, tstart, group_of, gfirst[:ngroups], gstart, order
+
+
+def _probe_kernel(keys: np.ndarray, slots: np.ndarray, tstart: np.ndarray,
+                  gfirst: np.ndarray, bits: int, pkeys: np.ndarray,
+                  phashes: np.ndarray, out: np.ndarray) -> None:
+    """Group id per probe row (-1 when the key is absent) — walk only
+    the probe hash's partition, exact key comparison per candidate."""
+    n, k = pkeys.shape
+    shift = np.uint64(64 - bits)
+    for i in range(n):
+        h = phashes[i]
+        p = np.int64(h >> shift)
+        base = tstart[p]
+        cap = tstart[p + 1] - base
+        capmask = np.uint64(cap - 1)
+        s = np.int64(h & capmask)
+        res = np.int64(-1)
+        while True:
+            g = slots[base + s]
+            if g == -1:
+                break
+            r = gfirst[g]
+            same = True
+            for j in range(k):
+                if pkeys[i, j] != keys[r, j]:
+                    same = False
+                    break
+            if same:
+                res = g
+                break
+            s += 1
+            if s == cap:
+                s = 0
+        out[i] = res
+    return None
+
+
+def _group_sums_kernel(group_of: np.ndarray, values: np.ndarray,
+                       sums: np.ndarray) -> None:
+    """Scatter-add ``values`` per group (int64 exact / float64 IEEE,
+    following the dtype of ``sums``)."""
+    for i in range(len(group_of)):
+        sums[group_of[i]] += values[i]
+
+
+_PY_KERNELS = (_hash_rows_kernel, _build_kernel, _probe_kernel,
+               _group_sums_kernel)
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    _JIT_KERNELS = tuple(
+        _numba.njit(cache=True, nogil=True)(fn) for fn in _PY_KERNELS)
+else:
+    _JIT_KERNELS = _PY_KERNELS
+
+
+def _kernels(compiled: bool):
+    return _JIT_KERNELS if (compiled and HAVE_NUMBA) else _PY_KERNELS
+
+
+# ------------------------------------------------------------------- table
+
+
+class RadixTable:
+    """Build-side radix hash table over one or more key columns.
+
+    Duck-compatible with :class:`repro.engine.enumerate._BatchProbe`
+    (``lookup(key_columns, k) -> (lo, counts)`` into :attr:`order`), plus
+    the membership and grouping views the semijoin and counting kernels
+    need.  Construction and probing run through the numba kernels when
+    ``compiled=True`` (the default resolves :func:`kernel_tier`); the
+    uncompiled loops are only meant for small inputs (tests).
+    """
+
+    __slots__ = ("nrows", "bits", "keys", "slots", "tstart", "gfirst",
+                 "gstart", "group_of", "order", "ngroups", "_compiled")
+
+    def __init__(self, key_columns: Sequence[np.ndarray], nrows: int,
+                 compiled: Optional[bool] = None):
+        if compiled is None:
+            compiled = kernel_tier() == "numba"
+        self._compiled = bool(compiled)
+        k = len(key_columns)
+        keys = np.empty((nrows, k), dtype=np.int64)
+        for j, col in enumerate(key_columns):
+            keys[:, j] = col
+        self.nrows = nrows
+        self.keys = keys
+        self.bits = radix_bits(nrows)
+        hash_rows, build, _probe, _sums = _kernels(self._compiled)
+        obs.count("kernel.radix_build")
+        obs.count("kernel.radix_build_rows", nrows)
+        hashes = np.empty(nrows, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            hash_rows(keys, hashes)
+            (self.slots, self.tstart, self.group_of, self.gfirst,
+             self.gstart, self.order) = build(keys, hashes, self.bits)
+        self.ngroups = len(self.gfirst)
+
+    def gids(self, key_columns: Sequence[np.ndarray], k: int) -> np.ndarray:
+        """Dense group id per probe row; -1 where the key is absent."""
+        hash_rows, _build, probe, _sums = _kernels(self._compiled)
+        pkeys = np.empty((k, len(key_columns)), dtype=np.int64)
+        for j, col in enumerate(key_columns):
+            pkeys[:, j] = col
+        phashes = np.empty(k, dtype=np.uint64)
+        out = np.empty(k, dtype=np.int64)
+        obs.count("kernel.radix_probe_rows", k)
+        with np.errstate(over="ignore"):
+            hash_rows(pkeys, phashes)
+            probe(self.keys, self.slots, self.tstart, self.gfirst,
+                  self.bits, pkeys, phashes, out)
+        return out
+
+    def member_mask(self, key_columns: Sequence[np.ndarray],
+                    k: int) -> np.ndarray:
+        """Boolean semijoin-survival mask of ``k`` probe rows."""
+        if self.nrows == 0:
+            return np.zeros(k, dtype=bool)
+        return self.gids(key_columns, k) >= 0
+
+    def lookup(self, key_columns: Sequence[np.ndarray], k: int
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        """``_BatchProbe``-compatible batch probe: ``counts[i]`` matching
+        rows starting at :attr:`order` position ``lo[i]``."""
+        if self.nrows == 0:
+            zeros = np.zeros(k, dtype=np.int64)
+            return zeros, zeros
+        g = self.gids(key_columns, k)
+        valid = g >= 0
+        gc = np.where(valid, g, 0)
+        lo = self.gstart[gc]
+        counts = np.where(valid, self.gstart[gc + 1] - lo, 0)
+        lo = np.where(valid, lo, 0)
+        return (lo.astype(np.int64, copy=False),
+                counts.astype(np.int64, copy=False))
+
+    def group_sums(self, values: np.ndarray) -> np.ndarray:
+        """Per-group sums of ``values`` (one value per build row)."""
+        _hash, _build, _probe, sums_kernel = _kernels(self._compiled)
+        sums = np.zeros(self.ngroups, dtype=values.dtype)
+        sums_kernel(self.group_of, values, sums)
+        return sums
+
+    def group_keys(self) -> List[np.ndarray]:
+        """One key column set with a single row per group (group order)."""
+        return [self.keys[self.gfirst, j]
+                for j in range(self.keys.shape[1])]
+
+
+def make_probe(key_columns: Sequence[np.ndarray], nrows: int):
+    """The probe structure for the active kernel tier: a
+    :class:`RadixTable` under numba, the sort-based ``_BatchProbe``
+    otherwise (the transparent numpy fallback)."""
+    if kernel_tier() == "numba":
+        return RadixTable(key_columns, nrows, compiled=True)
+    from repro.engine.enumerate import _BatchProbe
+
+    return _BatchProbe(key_columns, nrows)
+
+
+__all__ = [
+    "FALLBACK_ENV_VAR",
+    "RADIX_BITS_ENV_VAR",
+    "HAVE_NUMBA",
+    "RadixTable",
+    "kernel_tier",
+    "make_probe",
+    "radix_bits",
+]

@@ -46,6 +46,14 @@ SUPERLINEAR_FAMILY = frozenset({"quadratic", "superlinear"})
 #: effects, so the anti-flake rule forces ``inconclusive``
 MIN_DECADES = 1.0
 
+#: minimum sweep points for a fit to count as *reliable*: with fewer the
+#: residual degrees of freedom are zero, the CI is infinite, and the
+#: slope is pure interpolation.  Verdicts refuse below this, and
+#: :meth:`SlopeFit.to_dict` carries the flag so downstream consumers
+#: (reports, snapshot files) can suppress the number instead of printing
+#: a two-point "slope" as if it measured anything
+MIN_FIT_POINTS = 3
+
 #: default half-width of the noise-tolerance band added around the CI
 SLOPE_TOLERANCE = 0.25
 
@@ -80,6 +88,12 @@ class SlopeFit:
     decades: float
     r_squared: float
 
+    @property
+    def reliable(self) -> bool:
+        """Whether the slope is a measurement rather than interpolation:
+        at least :data:`MIN_FIT_POINTS` points and a finite CI."""
+        return self.n_points >= MIN_FIT_POINTS and math.isfinite(self.stderr)
+
     def to_dict(self) -> dict:
         """JSON-able rendering (infinities become None)."""
         def _num(x: float) -> Optional[float]:
@@ -94,6 +108,7 @@ class SlopeFit:
             "n_points": self.n_points,
             "decades": _num(self.decades),
             "r_squared": _num(self.r_squared),
+            "reliable": self.reliable,
         }
 
     def __str__(self) -> str:
@@ -145,7 +160,7 @@ def fit_loglog(sizes: Sequence[float], values: Sequence[float],
 
 def verdict_from_fit(fit: SlopeFit,
                      min_decades: float = MIN_DECADES,
-                     min_points: int = 3,
+                     min_points: int = MIN_FIT_POINTS,
                      tolerance: float = SLOPE_TOLERANCE) -> str:
     """Map a fitted slope interval to one of :data:`VERDICTS`.
 

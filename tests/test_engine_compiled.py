@@ -1,0 +1,403 @@
+"""Parity and caching suite for the ``compiled`` backend.
+
+The compiled tier's contract mirrors the parallel one: *sequence-level*
+equivalence with the serial columnar engine — identical reduced rows in
+identical order, identical counts and weighted sums, identical flat
+enumeration streams at every block size — plus two properties of its
+own:
+
+* **tier transparency** — without numba the radix kernels degrade to the
+  sort-based columnar probes, so every test here runs (and must pass)
+  in both tiers; the raw radix algorithm is additionally pinned against
+  ``_BatchProbe`` through its uncompiled pure-Python kernels, which are
+  byte-for-byte the code numba would JIT;
+* **per-symbol sharing** — self-join atoms over one stored relation
+  share probe structures keyed by column positions, observable through
+  the ``compiled.symbol_cache_*`` counters, and a ``Relation.version``
+  bump must invalidate the share.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.plancache import plan_cache_disabled
+from repro.counting.acq_count import count_acq, count_full_acyclic_join
+from repro.counting.weighted import WeightFunction
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.engine import get_engine, use_engine
+from repro.engine.base import ColumnarEngine
+from repro.engine.columnar import ColumnarRelation, ValueDictionary
+from repro.engine.compiled import CompiledEngine, CompiledRelation
+from repro.engine.enumerate import BlockIterator, _BatchProbe
+from repro.engine.radix import (
+    FALLBACK_ENV_VAR,
+    HAVE_NUMBA,
+    RADIX_BITS_ENV_VAR,
+    RadixTable,
+    kernel_tier,
+    radix_bits,
+)
+from repro.enumeration.free_connex import FreeConnexEnumerator
+from repro.eval.naive import cq_is_satisfiable_naive, evaluate_cq_naive
+from repro.eval.yannakakis import full_reducer, yannakakis
+from repro.logic.atoms import Atom
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.terms import Variable
+
+DOMAIN = st.integers(min_value=0, max_value=4)
+
+
+def _rows(draw, arity, max_rows=10):
+    return draw(st.lists(
+        st.tuples(*([DOMAIN] * arity)), min_size=0, max_size=max_rows))
+
+
+@st.composite
+def acyclic_instance(draw):
+    """A random acyclic CQ with a random database (tree-structured atom
+    variable sets guarantee alpha-acyclicity by construction)."""
+    n_atoms = draw(st.integers(min_value=1, max_value=4))
+    atom_vars = []
+    fresh = 0
+    for i in range(n_atoms):
+        if i == 0:
+            shared = []
+        else:
+            parent = atom_vars[draw(st.integers(0, i - 1))]
+            shared = draw(st.lists(st.sampled_from(parent), min_size=1,
+                                   max_size=len(parent), unique=True))
+        n_fresh = draw(st.integers(min_value=0 if shared else 1, max_value=2))
+        mine = list(shared)
+        for _ in range(n_fresh):
+            mine.append(Variable(f"v{fresh}"))
+            fresh += 1
+        atom_vars.append(draw(st.permutations(mine)))
+
+    atoms = [Atom(f"R{i}", vs) for i, vs in enumerate(atom_vars)]
+    all_vars = sorted({v for vs in atom_vars for v in vs},
+                      key=lambda v: v.name)
+    head = draw(st.lists(st.sampled_from(all_vars), unique=True,
+                         max_size=len(all_vars)))
+    cq = ConjunctiveQuery(head, atoms)
+
+    db = Database()
+    for i, vs in enumerate(atom_vars):
+        db.add_relation(Relation(f"R{i}", len(vs), _rows(draw, len(vs))))
+    return cq, db
+
+
+def _path_relations(sizes, seed=3, dom=30, cls=CompiledRelation):
+    rng = random.Random(seed)
+    x, y, z, w = (Variable(n) for n in "xyzw")
+    d = ValueDictionary()
+    schemas = [(x, y), (y, z), (z, w)]
+    rels = [cls(vs, [(rng.randrange(dom), rng.randrange(dom))
+                     for _ in range(n)], dictionary=d)
+            for vs, n in zip(schemas, sizes)]
+    return rels, (x, y, z, w)
+
+
+# -------------------------------------------------------- tier resolution
+
+
+def test_kernel_tier_resolution(monkeypatch):
+    monkeypatch.delenv(FALLBACK_ENV_VAR, raising=False)
+    assert kernel_tier() == ("numba" if HAVE_NUMBA else "numpy")
+    monkeypatch.setenv(FALLBACK_ENV_VAR, "numpy")
+    assert kernel_tier() == "numpy"
+    monkeypatch.setenv(FALLBACK_ENV_VAR, "fallback")
+    assert kernel_tier() == "numpy"
+    if not HAVE_NUMBA:
+        monkeypatch.setenv(FALLBACK_ENV_VAR, "numba")
+        with pytest.raises(ValueError, match="requires numba"):
+            kernel_tier()
+    monkeypatch.setenv(FALLBACK_ENV_VAR, "sparkles")
+    with pytest.raises(ValueError, match="must be auto"):
+        kernel_tier()
+
+
+def test_radix_bits_growth_and_override(monkeypatch):
+    monkeypatch.delenv(RADIX_BITS_ENV_VAR, raising=False)
+    assert radix_bits(0) == 1
+    assert radix_bits(10_000) == 1
+    assert radix_bits(100_000) < radix_bits(10_000_000)
+    monkeypatch.setenv(RADIX_BITS_ENV_VAR, "6")
+    assert radix_bits(10) == 6
+    monkeypatch.setenv(RADIX_BITS_ENV_VAR, "99")
+    assert radix_bits(10) == 16  # clamped
+    monkeypatch.setenv(RADIX_BITS_ENV_VAR, "nope")
+    with pytest.raises(ValueError):
+        radix_bits(10)
+
+
+def test_engine_registered_and_always_selectable():
+    eng = get_engine("compiled")
+    assert isinstance(eng, CompiledEngine)
+    with use_engine("compiled"):
+        assert get_engine().name == "compiled"
+
+
+# -------------------------------------------- raw radix kernels vs sorted
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_radix_table_matches_batch_probe(seed):
+    """The pure-Python radix kernels (the exact code numba JITs) must
+    reproduce ``_BatchProbe``'s lookup contract: same counts AND the
+    same expanded row sequence per probe key."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(0, 700))
+    k = int(rng.integers(1, 4))
+    cols = [rng.integers(0, 12, size=n).astype(np.int64) for _ in range(k)]
+    table = RadixTable(cols, n, compiled=False)
+    ref = _BatchProbe(cols, n)
+    m = int(rng.integers(0, 300))
+    pcols = [rng.integers(0, 14, size=m).astype(np.int64) for _ in range(k)]
+    lo_t, cnt_t = table.lookup(pcols, m)
+    lo_r, cnt_r = ref.lookup(pcols, m)
+    assert (cnt_t == cnt_r).all()
+    for i in range(m):
+        rows_t = table.order[lo_t[i]:lo_t[i] + cnt_t[i]]
+        rows_r = ref.order[lo_r[i]:lo_r[i] + cnt_r[i]]
+        assert rows_t.tolist() == rows_r.tolist()
+    # membership agrees with counts
+    assert (table.member_mask(pcols, m) == (cnt_r > 0)).all()
+
+
+def test_radix_group_sums_match_scatter_add():
+    rng = np.random.default_rng(3)
+    n = 500
+    cols = [rng.integers(0, 9, size=n).astype(np.int64)]
+    table = RadixTable(cols, n, compiled=False)
+    values = rng.integers(1, 5, size=n).astype(np.int64)
+    expect = np.zeros(table.ngroups, dtype=np.int64)
+    np.add.at(expect, table.group_of, values)
+    assert (table.group_sums(values) == expect).all()
+    fvals = rng.random(n)
+    fexpect = np.zeros(table.ngroups, dtype=np.float64)
+    np.add.at(fexpect, table.group_of, fvals)
+    assert np.allclose(table.group_sums(fvals), fexpect)
+
+
+def test_radix_table_empty_build_side():
+    empty = [np.array([], dtype=np.int64)]
+    table = RadixTable(empty, 0, compiled=False)
+    probe = [np.array([1, 2, 3], dtype=np.int64)]
+    lo, counts = table.lookup(probe, 3)
+    assert counts.tolist() == [0, 0, 0] and lo.tolist() == [0, 0, 0]
+    assert not table.member_mask(probe, 3).any()
+
+
+# --------------------------------------------------- operator-level parity
+
+
+def test_semijoin_join_match_columnar_row_order():
+    crels, _head = _path_relations([300, 300, 90], cls=ColumnarRelation)
+    krels, _head = _path_relations([300, 300, 90])
+    for op in ("semijoin", "join"):
+        c = getattr(crels[0], op)(crels[1])
+        k = getattr(krels[0], op)(krels[1])
+        assert isinstance(k, CompiledRelation)
+        assert c.variables == k.variables
+        assert list(c) == list(k)  # sequence, not set: order must match
+
+
+def test_degenerate_semijoin_no_shared_variables():
+    x, y, u, v = (Variable(n) for n in "xyuv")
+    d = ValueDictionary()
+    left = CompiledRelation([x, y], [(1, 2), (3, 4)], dictionary=d)
+    right = CompiledRelation([u, v], [(5, 6)], dictionary=d)
+    empty = CompiledRelation([u, v], [], dictionary=d)
+    assert list(left.semijoin(right)) == list(left)
+    assert len(left.semijoin(empty)) == 0
+
+
+# ----------------------------------------------------- end-to-end parity
+
+
+@settings(max_examples=40, deadline=None)
+@given(acyclic_instance())
+def test_query_parity_random_instances(instance):
+    """Random acyclic CQs: answers, counts, weighted sums all agree with
+    the tuple ground truth and the columnar engine."""
+    cq, db = instance
+    with plan_cache_disabled():
+        if cq.is_boolean():
+            expect_sat = cq_is_satisfiable_naive(cq, db)
+            assert (count_acq(cq, db, engine="compiled") > 0) == expect_sat
+            return
+        expect = evaluate_cq_naive(cq, db)
+        assert set(yannakakis(cq, db, engine="compiled")) == expect
+        assert count_acq(cq, db, engine="compiled") \
+            == count_acq(cq, db, engine="columnar")
+        wf = WeightFunction(lambda val: 2.0 if val % 2 == 0 else 0.5)
+        if cq.is_quantifier_free():
+            # fresh dictionaries: engines default to the process-global
+            # dictionary, which accumulates every value the session
+            # touched, and code_table would apply wf to foreign
+            # (non-int) values from unrelated tests
+            ceng = ColumnarEngine(ValueDictionary())
+            keng = CompiledEngine(ValueDictionary())
+            crels = [ceng.materialise_atom(db, a) for a in cq.atoms]
+            krels = [keng.materialise_atom(db, a) for a in cq.atoms]
+            assert count_full_acyclic_join(krels) \
+                == count_full_acyclic_join(crels)
+            assert count_full_acyclic_join(krels, wf) \
+                == pytest.approx(count_full_acyclic_join(crels, wf))
+
+
+@settings(max_examples=25, deadline=None)
+@given(acyclic_instance(), st.sampled_from([1, 7, 1024]))
+def test_enumeration_order_parity(instance, block_size):
+    """Free-connex enumeration emits the identical flat answer sequence
+    as tuple and columnar backends, at block sizes 1, 7 and 1024."""
+    cq, db = instance
+    if cq.is_boolean() or not cq.is_free_connex():
+        return
+    with plan_cache_disabled():
+        serial = list(FreeConnexEnumerator(cq, db, engine="columnar",
+                                           block_size=block_size))
+        compiled = list(FreeConnexEnumerator(cq, db, engine="compiled",
+                                             block_size=block_size))
+        tuples = list(FreeConnexEnumerator(cq, db, engine="tuple"))
+    assert compiled == serial
+    assert set(compiled) == set(tuples)
+
+
+@pytest.mark.parametrize("block_size", (1, 7, 1024))
+def test_block_iterator_order_parity_medium(block_size):
+    crels, head = _path_relations([400, 400, 120], seed=5,
+                                  cls=ColumnarRelation)
+    krels, _ = _path_relations([400, 400, 120], seed=5)
+    serial = list(BlockIterator(crels, head, block_size=block_size))
+    compiled = list(BlockIterator(krels, head, block_size=block_size))
+    assert serial == compiled
+
+
+def test_full_reducer_entry_point_parity():
+    rng = random.Random(17)
+    db = Database.from_relations({
+        "R": [(rng.randrange(30), rng.randrange(30)) for _ in range(1200)],
+        "S": [(rng.randrange(30), rng.randrange(30)) for _ in range(1200)],
+    })
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    cq = ConjunctiveQuery([x, y, z], [Atom("R", (x, y)), Atom("S", (y, z))])
+    with plan_cache_disabled():
+        _t, red_s = full_reducer(cq, db, engine="columnar")
+        _t, red_k = full_reducer(cq, db, engine="compiled")
+    for s, k in zip(red_s, red_k):
+        assert list(s) == list(k)
+
+
+def test_forced_numpy_tier_stays_correct(monkeypatch):
+    """REPRO_COMPILED_FALLBACK=numpy is the parity escape hatch: the
+    whole pipeline answers identically on the sort-based kernels."""
+    monkeypatch.setenv(FALLBACK_ENV_VAR, "numpy")
+    rng = random.Random(23)
+    db = Database.from_relations({
+        "R": [(rng.randrange(20), rng.randrange(20)) for _ in range(600)],
+        "S": [(rng.randrange(20), rng.randrange(20)) for _ in range(600)],
+    })
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    cq = ConjunctiveQuery([x, y], [Atom("R", (x, y)), Atom("S", (y, z))])
+    with plan_cache_disabled():
+        assert count_acq(cq, db, engine="compiled") \
+            == count_acq(cq, db, engine="columnar")
+        assert list(FreeConnexEnumerator(cq, db, engine="compiled")) \
+            == list(FreeConnexEnumerator(cq, db, engine="columnar"))
+
+
+# ------------------------------------------------------ per-symbol cache
+
+
+def _self_join_cq():
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    return ConjunctiveQuery(
+        [x, y, z], [Atom("E", (x, y)), Atom("E", (y, z))])
+
+
+def test_symbol_cache_shares_probes_across_self_join_atoms():
+    rng = random.Random(5)
+    db = Database.from_relations({
+        "E": [(rng.randrange(25), rng.randrange(25)) for _ in range(800)],
+    })
+    cq = _self_join_cq()
+    eng = CompiledEngine()
+    with obs.capture() as tracer:
+        r1 = eng.materialise_atom(db, cq.atoms[0])
+        r2 = eng.materialise_atom(db, cq.atoms[1])
+    # one miss (first atom installs the cache), one hit (second shares)
+    assert tracer.counters.get("compiled.symbol_cache_misses") == 1
+    assert tracer.counters.get("compiled.symbol_cache_hits") == 1
+    assert r1._probecache is r2._probecache
+    # a probe built through one atom is visible to the other: R(x,y)
+    # probing column 0 and R(y,z) probing column 0 are the same entry
+    p1 = r1.batch_probe((r1.variables[0],))
+    p2 = r2.batch_probe((r2.variables[0],))
+    assert p1 is p2
+
+
+def test_symbol_cache_answers_self_join_correctly():
+    rng = random.Random(6)
+    db = Database.from_relations({
+        "E": [(rng.randrange(12), rng.randrange(12)) for _ in range(300)],
+    })
+    cq = _self_join_cq()
+    with plan_cache_disabled():
+        assert count_acq(cq, db, engine="compiled") \
+            == count_acq(cq, db, engine="columnar")
+        assert list(FreeConnexEnumerator(cq, db, engine="compiled")) \
+            == list(FreeConnexEnumerator(cq, db, engine="columnar"))
+
+
+def test_symbol_cache_invalidated_by_version_bump():
+    db = Database.from_relations({"E": [(1, 2), (2, 3)]})
+    cq = _self_join_cq()
+    eng = CompiledEngine()
+    r1 = eng.materialise_atom(db, cq.atoms[0])
+    cache_before = r1._probecache
+    r1.batch_probe((r1.variables[0],))
+    assert len(cache_before) > 0
+    db.relation("E").add((3, 4))  # version bump
+    with obs.capture() as tracer:
+        r2 = eng.materialise_atom(db, cq.atoms[0])
+    assert tracer.counters.get("compiled.symbol_cache_misses") == 1
+    assert r2._probecache is not cache_before
+    assert len(r2) == 3
+    stats = eng.symbol_cache_stats()
+    assert stats["entries"] >= 1
+
+
+def test_symbol_cache_not_installed_for_constant_atoms():
+    """Atoms with constants or repeated variables materialise masked
+    columns, so they must NOT share the per-symbol position-keyed
+    cache."""
+    from repro.logic.terms import Constant
+
+    db = Database.from_relations({"E": [(1, 1), (1, 2), (2, 2)]})
+    x = Variable("x")
+    eng = CompiledEngine()
+    dup = eng.materialise_atom(db, Atom("E", (x, x)))
+    plain = eng.materialise_atom(db, Atom("E", (x, Variable("y"))))
+    const = eng.materialise_atom(db, Atom("E", (x, Constant(2))))
+    assert dup._probecache is not plain._probecache
+    assert const._probecache is not plain._probecache
+    assert set(dup) == {(1,), (2,)}       # rows with t[0] == t[1]
+    assert set(const) == {(1,), (2,)}     # rows with t[1] == 2
+
+
+def test_plan_key_distinguishes_kernel_tiers(monkeypatch):
+    eng = CompiledEngine()
+    monkeypatch.setenv(FALLBACK_ENV_VAR, "numpy")
+    numpy_key = eng.plan_key()
+    assert "numpy" in numpy_key
+    monkeypatch.setenv(RADIX_BITS_ENV_VAR, "8")
+    assert eng.plan_key() != numpy_key  # fan-out is part of the key

@@ -22,6 +22,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import obs
 from repro.core.plancache import plan_cache_disabled
 from repro.counting.acq_count import count_acq, count_full_acyclic_join
 from repro.counting.weighted import WeightFunction
@@ -32,7 +33,12 @@ from repro.engine.enumerate import BlockIterator
 from repro.engine.parallel import (
     ParallelBlockIterator,
     ParallelEngine,
+    arena_cache_stats,
+    get_pool,
+    invalidate_arena_cache,
     parallel_full_reduce,
+    pool_stats,
+    shutdown_pools,
 )
 from repro.engine.shard import (
     count_node_shard,
@@ -337,3 +343,103 @@ def test_full_reducer_entry_point_parity():
         _t, red_p = full_reducer(cq, db, engine=_engine(2))
     for s, p in zip(red_s, red_p):
         assert list(s) == list(p)
+
+
+# -------------------------------------------- arena cache / pool hygiene
+
+
+def test_arena_cache_cold_then_warm():
+    """The first parallel call over a relation list publishes its column
+    arena; subsequent calls over the same columns attach to the cached
+    segment instead of re-copying."""
+    invalidate_arena_cache()
+    rels, _head = _path_relations([500, 500, 150], seed=9)
+    eng = _engine(2)
+    with obs.capture() as tracer:
+        first = count_full_acyclic_join(rels, engine=eng)
+        second = count_full_acyclic_join(rels, engine=eng)
+    assert first == second
+    assert tracer.counters.get("parallel.arena_cache_misses") == 1
+    assert tracer.counters.get("parallel.arena_cache_hits") == 1
+    stats = arena_cache_stats()
+    assert stats["entries"] == 1
+    assert stats["bytes"] > 0
+    assert all(r == 0 for r in stats["refs"].values())  # released per call
+    invalidate_arena_cache()
+
+
+def test_arena_cache_lru_eviction_and_invalidate():
+    invalidate_arena_cache()
+    eng = _engine(2)
+    with obs.capture() as tracer:
+        for seed in range(6):  # > ARENA_CACHE_LIMIT distinct column sets
+            rels, _head = _path_relations([120, 120, 40], seed=100 + seed)
+            count_full_acyclic_join(rels, engine=eng)
+    assert tracer.counters.get("parallel.arena_cache_misses") == 6
+    assert tracer.counters.get("parallel.arena_cache_evictions", 0) >= 1
+    stats = arena_cache_stats()
+    assert 0 < stats["entries"] <= stats["limit"]
+    invalidate_arena_cache()
+    assert arena_cache_stats()["entries"] == 0
+
+
+def test_shutdown_pools_clears_arena_cache_and_stats_shape():
+    rels, _head = _path_relations([200, 200, 60], seed=12)
+    count_full_acyclic_join(rels, engine=_engine(2))
+    assert arena_cache_stats()["entries"] >= 1
+    stats = pool_stats()
+    assert "arena_cache" in stats
+    shutdown_pools()
+    assert arena_cache_stats()["entries"] == 0
+
+
+def test_pool_spawn_reuse_respawn_counters():
+    shutdown_pools()
+    with obs.capture() as tracer:
+        pool = get_pool(2)
+        again = get_pool(2)
+    assert again is pool
+    assert tracer.counters.get("parallel.pool_spawn") == 1
+    assert tracer.counters.get("parallel.pool_reuse") == 1
+    # kill the workers: the next request must respawn a healthy pool and
+    # drop cached arenas so stale shm registrations cannot leak
+    for p in pool.procs:
+        p.terminate()
+        p.join()
+    assert not pool.alive()
+    with obs.capture() as tracer:
+        fresh = get_pool(2)
+    assert tracer.counters.get("parallel.pool_respawn") == 1
+    assert fresh is not pool and fresh.alive()
+    assert arena_cache_stats()["entries"] == 0
+    shutdown_pools()
+
+
+def test_wave_batching_counters_and_parity():
+    """Above the inline cutoff, consecutive conflict-free semijoin steps
+    ride one batched wave (one queue round-trip per worker), and the
+    reduced output is still byte-identical to the serial program."""
+    rels, _head = _path_relations([9000, 9000, 6000], seed=21, dom=100)
+    assert all(len(r) > 2048 for r in rels)
+    h = Hypergraph({v for r in rels for v in r.variables},
+                   [frozenset(r.variables) for r in rels])
+    tree = build_join_tree(h)
+    serial = list(rels)
+    for node in tree.bottom_up():
+        parent = tree.parent[node]
+        if parent is not None:
+            serial[parent] = serial[parent].semijoin(serial[node])
+    for node in tree.top_down():
+        for child in tree.children[node]:
+            serial[child] = serial[child].semijoin(serial[node])
+    with obs.capture() as tracer:
+        reduced = parallel_full_reduce(tree, rels, engine=_engine(2))
+    waves = tracer.counters.get("parallel.waves", 0)
+    batches = tracer.counters.get("parallel.batches", 0)
+    tasks = tracer.counters.get("parallel.tasks", 0)
+    assert waves >= 1
+    assert batches >= waves          # >= one batch (worker) per wave
+    assert tasks >= batches          # each batch carries >= 1 step-shard
+    for s, p in zip(serial, reduced):
+        assert list(s) == list(p)
+    invalidate_arena_cache()

@@ -87,9 +87,13 @@ def test_fit_to_dict_is_jsonable():
     doc = fit_loglog(SIZES, synth(0.0)).to_dict()
     json.dumps(doc)
     assert set(doc) == {"slope", "intercept", "stderr", "ci_low", "ci_high",
-                        "n_points", "decades", "r_squared"}
-    # two-point fits carry infinite stderr -> rendered as None
-    assert fit_loglog([10, 1000], [1, 2]).to_dict()["stderr"] is None
+                        "n_points", "decades", "r_squared", "reliable"}
+    # two-point fits carry infinite stderr -> rendered as None, and the
+    # reliable flag marks the slope as interpolation, not measurement
+    two = fit_loglog([10, 1000], [1, 2]).to_dict()
+    assert two["stderr"] is None
+    assert two["reliable"] is False
+    assert doc["reliable"] is True
 
 
 def test_zero_values_clamped_by_floor():
