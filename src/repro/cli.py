@@ -121,6 +121,11 @@ def _select_engine(args: argparse.Namespace) -> None:
         from repro.core.plancache import set_plan_cache_enabled
 
         set_plan_cache_enabled(plan_cache == "on")
+    incremental = getattr(args, "incremental", None)
+    if incremental is not None:
+        from repro.core.plancache import set_incremental_enabled
+
+        set_incremental_enabled(incremental)
 
 
 def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
@@ -142,6 +147,12 @@ def _add_pipeline_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--plan-cache", choices=("on", "off"), default=None,
                    help="toggle the cross-query plan/preprocessing cache "
                         "(default on, env REPRO_PLAN_CACHE)")
+    p.add_argument("--incremental", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="delta-propagated plan maintenance: refresh cached "
+                        "plans through per-relation delta logs instead of "
+                        "rebuilding after updates (default off, env "
+                        "REPRO_INCREMENTAL; needs the plan cache on)")
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -274,7 +285,8 @@ def cmd_explain(args: argparse.Namespace) -> int:
     print(f"database: {source}")
     print(outcome)
     print()
-    print(obs.render_explain(tr))
+    print(obs.render_explain(tr))      # footer carries the plan-cache line
+    _print_incremental_stats()
     if args.trace:
         obs.write_chrome_trace(args.trace, tr)
         print(f"wrote trace {args.trace}", file=sys.stderr)
@@ -287,13 +299,26 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _print_plan_cache_stats() -> None:
-    """One-line plan-cache health summary (doctor + metrics dumps)."""
+    """Two-line plan-cache health summary (doctor, run/count --metrics)."""
     from repro.core.plancache import plan_cache
 
     st = plan_cache().stats()
     print(f"plan cache: {st['hits']} hits, {st['misses']} misses, "
           f"{st['evictions']} evictions ({st['entries']} entries, "
           f"maxsize {st['maxsize']})")
+    _print_incremental_stats()
+
+
+def _print_incremental_stats() -> None:
+    """The delta-refresh half of the summary (explain prints the
+    plan-cache line through the render_explain footer already)."""
+    from repro.core.plancache import incremental_enabled, plan_cache
+
+    st = plan_cache().stats()
+    print(f"incremental: {st['refreshes']} refreshes, "
+          f"{st['refresh_overflows']} delta-log overflows, "
+          f"{st['refresh_fallbacks']} refresher fallbacks "
+          f"({'on' if incremental_enabled() else 'off'})")
 
 
 #: timer-overhead sanity window for slope fitting: below 10ns the
@@ -677,11 +702,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
                                           repeats=args.repeats,
                                           max_outputs=args.max_outputs,
                                           seed=args.seed)
+        if args.dynamic_suite:
+            from repro.obs.observatory import run_dynamic_suite
+
+            records += run_dynamic_suite(timestamp,
+                                         size=args.dynamic_size,
+                                         repeats=args.repeats,
+                                         seed=args.seed)
     finally:
         _obs_finish(args, tracer, previous)
     observatory = Observatory(args.history_dir)
     snapshots = {"bench": args.snapshot, "parallel": args.parallel_snapshot,
-                 "compiled": args.compiled_snapshot}
+                 "compiled": args.compiled_snapshot,
+                 "dynamic": args.dynamic_snapshot}
     for record in records:
         observatory.append(record)
         snapshot = snapshots.get(record["suite"])
@@ -819,6 +852,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "size sweep (default 8k/25k/80k)")
     p.add_argument("--compiled-snapshot", default="BENCH_compiled.json",
                    help="snapshot file for the compiled suite "
+                        "('' disables)")
+    p.add_argument("--dynamic-suite", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="also run the incremental-maintenance suite: "
+                        "update+query cycles, warm delta refresh vs cold "
+                        "re-preprocessing (snapshot in --dynamic-snapshot)")
+    p.add_argument("--dynamic-size", type=int, default=100_000,
+                   help="tuples per relation for the dynamic suite's "
+                        "fixed instance")
+    p.add_argument("--dynamic-snapshot", default="BENCH_dynamic.json",
+                   help="snapshot file for the dynamic suite "
                         "('' disables)")
     p.add_argument("--gate", choices=("off", "warn", "fail"),
                    default="warn",

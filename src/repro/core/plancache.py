@@ -36,11 +36,12 @@ from __future__ import annotations
 import os
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Any, Callable, Hashable, Iterator, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro import obs
 
 ENV_VAR = "REPRO_PLAN_CACHE"
+INCREMENTAL_ENV_VAR = "REPRO_INCREMENTAL"
 DEFAULT_MAXSIZE = 256
 
 _MISS = object()
@@ -58,9 +59,16 @@ class PlanCache:
     def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
         self.maxsize = int(maxsize)
         self._entries: "OrderedDict[Hashable, Tuple[Any, Any]]" = OrderedDict()
+        # (kind, query, engine, extra) -> most recent full key, so a miss
+        # caused purely by a fingerprint change can find its predecessor
+        # entry and refresh it instead of rebuilding from scratch
+        self._latest: Dict[Hashable, Hashable] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.refreshes = 0
+        self.refresh_overflows = 0
+        self.refresh_fallbacks = 0
 
     # ------------------------------------------------------------------ state
 
@@ -69,13 +77,20 @@ class PlanCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._latest.clear()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.refreshes = 0
+        self.refresh_overflows = 0
+        self.refresh_fallbacks = 0
 
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions,
+                "refreshes": self.refreshes,
+                "refresh_overflows": self.refresh_overflows,
+                "refresh_fallbacks": self.refresh_fallbacks,
                 "entries": len(self._entries), "maxsize": self.maxsize}
 
     # ----------------------------------------------------------------- lookup
@@ -103,15 +118,44 @@ class PlanCache:
         for the entry's lifetime; evicts the LRU entry beyond maxsize."""
         self._entries[key] = (value, pins)
         self._entries.move_to_end(key)
+        if isinstance(key, tuple) and len(key) == 5:
+            self._latest[key[:4]] = key
         while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            if isinstance(evicted, tuple) and len(evicted) == 5 \
+                    and self._latest.get(evicted[:4]) == evicted:
+                del self._latest[evicted[:4]]
             self.evictions += 1
             obs.count("plancache.evictions")
         return value
 
+    # ---------------------------------------------------------------- refresh
+
+    def predecessor(self, key: Hashable) -> Tuple[Any, Any]:
+        """The live entry cached for ``key``'s (kind, query, engine,
+        extra) under an *older* fingerprint: ``(prev_key, value)``, or
+        ``(None, _MISS)`` when there is none to refresh from."""
+        if not (isinstance(key, tuple) and len(key) == 5):
+            return None, _MISS
+        prev_key = self._latest.get(key[:4])
+        if prev_key is None or prev_key == key:
+            return None, _MISS
+        entry = self._entries.get(prev_key, _MISS)
+        if entry is _MISS:
+            return None, _MISS
+        return prev_key, entry[0]
+
+    def replace(self, prev_key: Hashable, key: Hashable, value: Any,
+                pins: Any = None) -> Any:
+        """Move a refreshed plan from its stale key to the current one."""
+        self._entries.pop(prev_key, None)
+        self.refreshes += 1
+        return self.put(key, value, pins=pins)
+
 
 _GLOBAL = PlanCache()
 _ENABLED: Optional[bool] = None  # None -> consult the environment
+_INCREMENTAL: Optional[bool] = None  # None -> consult the environment
 
 
 def plan_cache() -> PlanCache:
@@ -145,12 +189,72 @@ def plan_cache_disabled() -> Iterator[None]:
         _ENABLED = previous
 
 
+def incremental_enabled() -> bool:
+    """Is delta-propagated plan refresh on?  Off by default: set
+    ``REPRO_INCREMENTAL=1`` / ``--incremental`` (or call
+    :func:`set_incremental_enabled`) to opt in."""
+    if _INCREMENTAL is not None:
+        return _INCREMENTAL
+    env = os.environ.get(INCREMENTAL_ENV_VAR, "").strip().lower()
+    return env in ("1", "true", "on", "yes")
+
+
+def set_incremental_enabled(enabled: Optional[bool]) -> None:
+    """Force incremental refresh on/off process-wide (None resets to
+    the ``REPRO_INCREMENTAL`` environment default)."""
+    global _INCREMENTAL
+    _INCREMENTAL = enabled
+
+
+@contextmanager
+def incremental_scope(enabled: bool) -> Iterator[None]:
+    """Temporarily force incremental refresh on or off (tests, CLI)."""
+    global _INCREMENTAL
+    previous = _INCREMENTAL
+    _INCREMENTAL = enabled
+    try:
+        yield
+    finally:
+        _INCREMENTAL = previous
+
+
 def clear_plan_cache() -> None:
     _GLOBAL.clear()
 
 
+def _collect_deltas(db, old_fp, new_fp
+                    ) -> Optional[Dict[str, List[Tuple[str, Tuple]]]]:
+    """Per-relation effective ops taking ``old_fp`` to ``new_fp``.
+
+    Returns ``None`` when the two fingerprints are not delta-comparable:
+    different domain size or relation line-up (the domain and the
+    relation list only change at ``add_relation``, so a mismatch means
+    a structurally different database, not a tuple-level update), or
+    any per-relation delta log that has overflowed.
+    """
+    if old_fp is None or new_fp is None or old_fp[0] != new_fp[0]:
+        return None
+    old_rels, new_rels = old_fp[1], new_fp[1]
+    if len(old_rels) != len(new_rels):
+        return None
+    deltas: Dict[str, List[Tuple[str, Tuple]]] = {}
+    for (oname, oid, over, _olen), (nname, nid, nver, _nlen) in zip(
+            old_rels, new_rels):
+        if oname != nname or oid != nid:
+            return None
+        if over == nver:
+            continue
+        ops = db.relation(oname).deltas_since(over)
+        if ops is None:
+            return None
+        deltas[oname] = ops
+    return deltas
+
+
 def cached_plan(kind: str, query: Hashable, db, engine_name: str,
-                builder: Callable[[], Any], extra: Hashable = ()) -> Any:
+                builder: Callable[[], Any], extra: Hashable = (),
+                refresher: Optional[Callable[[Any, Dict[str, list]], Any]]
+                = None) -> Any:
     """Fetch-or-build helper used by the preprocessing entry points.
 
     ``builder`` runs (and its result is cached, with ``db`` pinned) only
@@ -162,6 +266,16 @@ def cached_plan(kind: str, query: Hashable, db, engine_name: str,
     compiled backend: the kernel tier and radix fan-out, since cached
     relations carry probe structures built by one tier that the other
     cannot read).
+
+    ``refresher`` opts the plan kind into delta propagation: when a
+    lookup misses only because the database fingerprint moved, and
+    :func:`incremental_enabled` is on, ``refresher(stale_value,
+    deltas)`` is offered the predecessor entry plus the per-relation
+    ``{name: [('+'|'-', tuple), ...]}`` ops that separate the two
+    fingerprints.  Returning the caught-up value re-caches it under the
+    new key; returning ``None`` (unsupported delta shape) — or any
+    delta-log overflow — falls back to a cold ``builder`` run.
+    Refreshers must validate support *before* mutating their state.
     """
     if not plan_cache_enabled():
         with obs.span("plan.build", kind=kind, cache="off"):
@@ -174,6 +288,24 @@ def cached_plan(kind: str, query: Hashable, db, engine_name: str,
         obs.count("plancache.hits")
         return value
     obs.count("plancache.misses")
+    if refresher is not None and db is not None and incremental_enabled():
+        prev_key, stale = cache.predecessor(key)
+        if stale is not _MISS:
+            deltas = _collect_deltas(db, prev_key[4], key[4])
+            if deltas is None:
+                cache.refresh_overflows += 1
+                obs.count("plancache.delta_overflow")
+            else:
+                n_ops = sum(len(ops) for ops in deltas.values())
+                with obs.span("plan.refresh", kind=kind, ops=n_ops):
+                    value = refresher(stale, deltas)
+                if value is None:
+                    cache.refresh_fallbacks += 1
+                    obs.count("plancache.refresh_fallback")
+                else:
+                    obs.count("plancache.refresh")
+                    obs.count("plancache.delta_applied", n_ops)
+                    return cache.replace(prev_key, key, value, pins=db)
     with obs.span("plan.build", kind=kind, cache="miss"):
         value = builder()
     return cache.put(key, value, pins=db)

@@ -200,6 +200,27 @@ def count_quantifier_free_acyclic(cq: ConjunctiveQuery, db: Database,
         )
     if cq.has_comparisons():
         raise UnsupportedQueryError("comparisons are not supported in counting")
+    unweighted = weights is None or (
+        isinstance(weights, WeightFunction) and weights.is_ones())
+    if unweighted:
+        from repro.core.plancache import (cached_plan, incremental_enabled,
+                                          plan_cache_enabled)
+
+        if incremental_enabled() and plan_cache_enabled():
+            from repro.dynamic.delta import DeltaCounter
+
+            # delta-propagated DP: the cached artefact is a DeltaCounter
+            # whose maintained total is the exact int the cold message
+            # passing computes (any backend), refreshed through the
+            # per-relation delta logs.  Engine-independent, so the state
+            # is cached under a fixed pseudo-engine name and shared
+            # across backends.
+            if DeltaCounter.supports(cq):
+                state = cached_plan(
+                    "count_state", cq, db, "-",
+                    lambda: DeltaCounter.build(cq, db),
+                    refresher=lambda st, deltas: st.refreshed(deltas))
+                return state.total()
     from repro.eval.yannakakis import materialise_atoms
 
     return count_full_acyclic_join(materialise_atoms(cq, db, engine), weights,
@@ -327,6 +348,20 @@ def count_acq(cq: ConjunctiveQuery, db: Database,
         raise UnsupportedQueryError("comparisons are not supported in counting")
     if not cq.is_acyclic():
         raise NotAcyclicError(f"query {cq!r} is not acyclic; use count_cq_naive")
+    if cq.is_quantifier_free():
+        from repro.core.plancache import incremental_enabled, plan_cache_enabled
+
+        if incremental_enabled() and plan_cache_enabled():
+            from repro.dynamic.delta import DeltaCounter
+
+            # quantifier-free answers are exactly the join rows, so the
+            # star-size decomposition is the identity here; route
+            # straight to the maintained Theorem 4.21 DP
+            unweighted = weights is None or (
+                isinstance(weights, WeightFunction) and weights.is_ones())
+            if unweighted and DeltaCounter.supports(cq):
+                return count_quantifier_free_acyclic(cq, db, weights,
+                                                     engine=engine)
     with obs.span("count.acq", atoms=len(cq.atoms)):
         derived = derive_counting_join(cq, db, engine=engine)
         if derived is None:

@@ -12,11 +12,75 @@ order on the encoding that the RAM model of the paper assumes (Section
 
 from __future__ import annotations
 
+import itertools
+import os
+from collections import deque
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import MalformedQueryError
 
 Tup = Tuple[Any, ...]
+
+DELTA_LOG_ENV_VAR = "REPRO_DELTA_LOG"
+DEFAULT_DELTA_LOG_CAPACITY = 4096
+
+
+def delta_log_capacity() -> int:
+    """Per-relation delta-log bound (``REPRO_DELTA_LOG``, default 4096).
+
+    Zero (or a negative value) disables delta retention entirely: every
+    version gap then reads as an overflow and consumers fall back to
+    cold recomputation, which is the pre-incremental behaviour.
+    """
+    env = os.environ.get(DELTA_LOG_ENV_VAR, "").strip()
+    if not env:
+        return DEFAULT_DELTA_LOG_CAPACITY
+    try:
+        return max(0, int(env))
+    except ValueError:
+        raise ValueError(
+            f"{DELTA_LOG_ENV_VAR} must be an integer, got {env!r}") from None
+
+
+class DeltaLog:
+    """A bounded ring of effective mutations between relation versions.
+
+    Each *effective* ``add``/``discard`` (no-ops excluded) appends one
+    ``('+' | '-', tuple)`` entry; entry ``k`` from the tail corresponds
+    to the mutation that produced version ``current - k + 1``.  The ring
+    holds at most ``capacity`` entries, so :meth:`since` can replay any
+    version gap of up to ``capacity`` mutations and returns ``None``
+    beyond that — the overflow signal that sends plan-cache consumers
+    down the cold-invalidation path instead of a wrong incremental one.
+    """
+
+    __slots__ = ("capacity", "_ops")
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = delta_log_capacity() if capacity is None \
+            else max(0, int(capacity))
+        self._ops: "deque[Tuple[str, Tup]]" = deque(maxlen=self.capacity)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def record(self, op: str, tup: Tup) -> None:
+        """Append one effective mutation (the ring drops the oldest
+        entry on overflow — detected later by :meth:`since`)."""
+        self._ops.append((op, tup))
+
+    def since(self, version: int, current: int
+              ) -> Optional[List[Tuple[str, Tup]]]:
+        """The ops taking state ``version`` to state ``current``, oldest
+        first, or ``None`` when the gap fell off the ring (overflow) or
+        is negative (a caller confused about version direction)."""
+        gap = current - version
+        if gap < 0 or gap > len(self._ops):
+            return None
+        if gap == 0:
+            return []
+        return list(itertools.islice(self._ops, len(self._ops) - gap,
+                                     len(self._ops)))
 
 
 class Relation:
@@ -33,7 +97,7 @@ class Relation:
     """
 
     __slots__ = ("name", "arity", "_tuples", "_indexes", "_colcache",
-                 "_version")
+                 "_version", "_deltalog")
 
     def __init__(self, name: str, arity: int, tuples: Optional[Iterable[Sequence[Any]]] = None):
         if arity < 0:
@@ -45,11 +109,16 @@ class Relation:
         # (columns) -> {key tuple -> list of full tuples}
         self._indexes: Dict[Tuple[int, ...], Dict[Tup, List[Tup]]] = {}
         # dictionary-encoded column cache of the columnar engine
-        # (see repro.engine.columnar.encoded_relation_columns)
+        # (see repro.engine.columnar.encoded_relation_columns); the cache
+        # carries the version it was built at, so mutations keep it in
+        # place for delta patching instead of throwing it away
         self._colcache = None
         # bumped on every effective add/discard; (id, version, len) is the
         # plan-cache invalidation fingerprint (repro.core.plancache)
         self._version = 0
+        # effective mutations since (up to) `delta_log_capacity()` versions
+        # ago, for incremental plan refresh (repro.core.plancache)
+        self._deltalog = DeltaLog()
         if tuples is not None:
             for t in tuples:
                 self.add(t)
@@ -64,10 +133,10 @@ class Relation:
                 f"relation {self.name!r} has arity {self.arity}, got tuple of length {len(t)}"
             )
         if t in self._tuples:
-            return
+            return  # no-op: version and delta log must not move
         self._tuples[t] = None
-        self._colcache = None
         self._version += 1
+        self._deltalog.record("+", t)
         for cols, index in self._indexes.items():
             index.setdefault(tuple(t[c] for c in cols), []).append(t)
 
@@ -81,10 +150,10 @@ class Relation:
         """
         t = tuple(tup)
         if t not in self._tuples:
-            return
+            return  # no-op: version and delta log must not move
         del self._tuples[t]
-        self._colcache = None
         self._version += 1
+        self._deltalog.record("-", t)
         for cols, index in self._indexes.items():
             key = tuple(t[c] for c in cols)
             bucket = index.get(key)
@@ -128,6 +197,17 @@ class Relation:
     def version(self) -> int:
         """Mutation counter: bumped by every effective add/discard."""
         return self._version
+
+    @property
+    def delta_log(self) -> DeltaLog:
+        """The bounded mutation log (see :class:`DeltaLog`)."""
+        return self._deltalog
+
+    def deltas_since(self, version: int
+                     ) -> Optional[List[Tuple[str, Tup]]]:
+        """Effective ops taking state ``version`` to the current state
+        (oldest first), or ``None`` on delta-log overflow."""
+        return self._deltalog.since(version, self._version)
 
     def tuples(self) -> List[Tup]:
         """Return the contents as a list, in insertion order."""

@@ -2,8 +2,8 @@
 direction — [Berkholz-Keppeler-Schweikardt 2017], [Idris-Ugarte-
 Vansummeren 2017] "Dynamic Yannakakis" — as deserving its own survey).
 
-This subpackage is the library's beyond-the-paper extension: a
-counter-based incrementally maintained view of a free-connex ACQ.
+This subpackage is the library's beyond-the-paper extension: query
+evaluation under updates.
 
 * :class:`~repro.dynamic.view.DynamicFreeConnexView` — insert/delete
   base tuples; per-tuple *support counters* along the free-connex join
@@ -11,8 +11,15 @@ counter-based incrementally maintained view of a free-connex ACQ.
   the projections of the root's subtrees onto their free variables are
   maintained as multiplicity-counted relations, so satisfiability,
   answer counts and answer enumeration never reread the base data.
+* :class:`~repro.dynamic.delta.DeltaReducer` /
+  :class:`~repro.dynamic.delta.DeltaCounter` — the delta-propagation
+  backend of the plan cache's incremental refresh path
+  (``REPRO_INCREMENTAL``): cached full-reducer and Theorem 4.21
+  counting plans caught up with per-relation
+  :class:`~repro.data.relation.DeltaLog` ops instead of rebuilt.
 """
 
+from repro.dynamic.delta import DeltaCounter, DeltaReducer
 from repro.dynamic.view import DynamicFreeConnexView
 
-__all__ = ["DynamicFreeConnexView"]
+__all__ = ["DeltaCounter", "DeltaReducer", "DynamicFreeConnexView"]

@@ -1,0 +1,631 @@
+"""Delta propagation through cached Yannakakis and counting plans.
+
+The plan cache (:mod:`repro.core.plancache`) keys entries on database
+fingerprints, so any base-relation mutation used to cold-invalidate the
+whole preprocessing investment.  This module holds the *warm* path: two
+stateful plan artefacts that are built once and then caught up with the
+per-relation :class:`~repro.data.relation.DeltaLog` ops a stale
+fingerprint implies, in time proportional to the delta's footprint
+rather than to ``||D||``.
+
+* :class:`DeltaReducer` maintains the full-reducer fixpoint.  Per
+  join-tree node it stores the materialised atom rows with two boolean
+  marks — ``up`` (survives the bottom-up semijoin pass) and ``down``
+  (survives the top-down pass, i.e. belongs to the reduced output) —
+  plus the counter machinery of :mod:`repro.dynamic.view`'s
+  ``_CountedRelation`` generalised to both passes: per-key counts of
+  up/down rows, so one mark flip touches matching neighbour rows only
+  when a key's support actually crosses zero.
+* :class:`DeltaCounter` maintains the Theorem 4.21 counting DP: per node
+  row it stores the contribution (product of child message factors) and
+  per node the message (per-key contribution sums); a delta subtracts
+  and re-adds exactly the contributions it touches, and value changes
+  ripple to the parent only for the keys whose sums moved.
+
+Both refreshers mutate in place and return ``None`` *before* touching
+state when a delta shape is unsupported, matching the contract of
+:func:`repro.core.plancache.cached_plan`; an unexpected mid-refresh
+failure marks the state broken so the cache falls back to cold builds
+instead of serving a corrupt plan.
+
+Honest non-guarantee (mirroring :mod:`repro.dynamic.view`): the refresh
+makes *preprocessing* incremental; enumeration delay after an update is
+measured by the dynamic bench suite, not assumed constant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.data.database import Database
+from repro.engine.base import ColumnarEngine
+from repro.hypergraph.jointree import JoinTree, cached_join_tree
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.terms import Constant, Variable
+
+Tup = Tuple[Any, ...]
+Ops = List[Tuple[str, Tup]]
+
+
+class _AtomMap:
+    """Base-tuple -> atom-row mapping (constants and repeated variables
+    resolved).  On tuples it accepts, the mapping is injective: every
+    position is either a fixed constant or equal to the first occurrence
+    of its variable, so the row determines the tuple."""
+
+    __slots__ = ("consts", "dups", "out")
+
+    def __init__(self, atom):
+        first_pos: Dict[Variable, int] = {}
+        self.consts: List[Tuple[int, Any]] = []
+        self.dups: List[Tuple[int, int]] = []
+        for pos, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                self.consts.append((pos, term.value))
+            elif term in first_pos:
+                self.dups.append((first_pos[term], pos))
+            else:
+                first_pos[term] = pos
+        self.out = [first_pos[v] for v in atom.variables()]
+
+    def row_of(self, t: Tup) -> Optional[Tup]:
+        for pos, value in self.consts:
+            if t[pos] != value:
+                return None
+        for a, b in self.dups:
+            if t[a] != t[b]:
+                return None
+        return tuple(t[p] for p in self.out)
+
+
+class _Node:
+    """Join-tree node skeleton shared by both delta structures."""
+
+    __slots__ = ("index", "name", "variables", "positions", "atom_map",
+                 "parent", "children", "slot", "share", "share_pos",
+                 "child_key_pos", "rows", "pgroup", "cgroup")
+
+    def __init__(self, index: int, atom):
+        self.index = index
+        self.name = atom.relation
+        self.variables: Tuple[Variable, ...] = atom.variables()
+        self.positions = {v: i for i, v in enumerate(self.variables)}
+        self.atom_map = _AtomMap(atom)
+        self.parent: Optional[int] = None
+        self.children: List[int] = []
+        self.slot = 0                       # index among parent's children
+        self.share: Tuple[Variable, ...] = ()
+        self.share_pos: List[int] = []      # positions of `share` in own row
+        self.child_key_pos: List[List[int]] = []  # per child slot
+        self.rows: Dict[Tup, Any] = {}
+        # own rows grouped by parent-shared key / by child-shared key
+        self.pgroup: Dict[Tup, Set[Tup]] = {}
+        self.cgroup: List[Dict[Tup, Set[Tup]]] = []
+
+    def pkey(self, row: Tup) -> Tup:
+        return tuple(row[p] for p in self.share_pos)
+
+    def ckey(self, slot: int, row: Tup) -> Tup:
+        return tuple(row[p] for p in self.child_key_pos[slot])
+
+    def group_add(self, row: Tup) -> None:
+        self.pgroup.setdefault(self.pkey(row), set()).add(row)
+        for slot in range(len(self.children)):
+            self.cgroup[slot].setdefault(self.ckey(slot, row), set()).add(row)
+
+    def group_remove(self, row: Tup) -> None:
+        for group, key in [(self.pgroup, self.pkey(row))] + [
+                (self.cgroup[s], self.ckey(s, row))
+                for s in range(len(self.children))]:
+            bucket = group.get(key)
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del group[key]
+
+
+def _build_skeleton(cq: ConjunctiveQuery, tree: JoinTree,
+                    node_cls) -> List["_Node"]:
+    nodes = [node_cls(i, atom) for i, atom in enumerate(cq.atoms)]
+    for i, node in enumerate(nodes):
+        node.parent = tree.parent[i]
+        node.children = list(tree.children[i])
+        node.cgroup = [{} for _ in node.children]
+        if node.parent is not None:
+            parent_vars = set(nodes[node.parent].variables)
+            node.share = tuple(v for v in node.variables if v in parent_vars)
+            node.share_pos = [node.positions[v] for v in node.share]
+            node.slot = tree.children[node.parent].index(i)
+    for node in nodes:
+        node.child_key_pos = [
+            [node.positions[v] for v in nodes[c].share]
+            for c in node.children]
+    return nodes
+
+
+def _atoms_by_relation(nodes: Sequence[_Node]) -> Dict[str, List[int]]:
+    by_rel: Dict[str, List[int]] = {}
+    for node in nodes:
+        by_rel.setdefault(node.name, []).append(node.index)
+    return by_rel
+
+
+# ------------------------------------------------------------------ reducer
+
+
+class _ReducerNode(_Node):
+    """Adds the up/down marks, their per-key support counters, and (in
+    columnar mode) physically-appended code columns with a down mask, so
+    the reduced relation is emitted by one boolean gather."""
+
+    __slots__ = ("up", "down", "up_count", "down_count",
+                 "cols", "size", "down_mask",
+                 "emitted", "dirty", "added_rows", "append_only")
+
+    def __init__(self, index: int, atom):
+        super().__init__(index, atom)
+        self.up: Set[Tup] = set()
+        self.down: Set[Tup] = set()
+        self.up_count: Dict[Tup, int] = {}
+        self.down_count: List[Dict[Tup, int]] = []
+        self.cols: Optional[List[np.ndarray]] = None
+        self.size = 0
+        self.down_mask: Optional[np.ndarray] = None
+        self.emitted = None
+        self.dirty = True
+        self.added_rows: List[Tup] = []
+        self.append_only = True
+
+    def bump(self, counter: Dict[Tup, int], key: Tup, delta: int) -> bool:
+        """Adjust a support counter; True when it crossed zero."""
+        old = counter.get(key, 0)
+        new = old + delta
+        if new > 0:
+            counter[key] = new
+        else:
+            counter.pop(key, None)
+        return (old > 0) != (new > 0)
+
+
+class DeltaReducer:
+    """An incrementally maintained full-reducer plan.
+
+    ``build`` runs the characterisation cold (every row inserted and
+    rechecked); ``refreshed`` replays a per-relation delta map; and
+    ``result`` emits ``(tree, reduced relations)`` byte-identical —
+    contents *and* row order — to what ``_full_reduce`` computes on the
+    updated database with the same engine family.
+    """
+
+    def __init__(self, cq: ConjunctiveQuery, tree: JoinTree, engine):
+        self.cq = cq
+        self.tree = tree
+        self.nodes: List[_ReducerNode] = _build_skeleton(
+            cq, tree, _ReducerNode)
+        for node in self.nodes:
+            node.down_count = [{} for _ in node.children]
+        self._by_relation = _atoms_by_relation(self.nodes)
+        self._columnar = isinstance(engine, ColumnarEngine)
+        self._dict = engine.dictionary if self._columnar else None
+        self._relcls = type(engine.relation(()))
+        self._broken = False
+
+    # ----------------------------------------------------------- lifecycle
+
+    @staticmethod
+    def supports(cq: ConjunctiveQuery, engine) -> bool:
+        """Can this query/engine pair be maintained with order parity?
+
+        The columnar family materialises atoms by boolean masks over the
+        base columns, which the replay reproduces exactly.  The tuple
+        backend materialises repeated-variable atoms through diagonal
+        index buckets whose order is not the base insertion order, so
+        those stay on the cold path.
+        """
+        if isinstance(engine, ColumnarEngine):
+            return True
+        for atom in cq.atoms:
+            var_terms = [t for t in atom.terms if isinstance(t, Variable)]
+            if len(set(var_terms)) != len(var_terms):
+                return False
+        return True
+
+    @classmethod
+    def build(cls, cq: ConjunctiveQuery, db: Database,
+              engine) -> "DeltaReducer":
+        tree = cached_join_tree(cq.hypergraph())
+        state = cls(cq, tree, engine)
+        seed = {name: [("+", t) for t in db.relation(name)]
+                for name in cq.relation_names()}
+        with obs.span("delta.reducer_build", nodes=len(state.nodes)):
+            state._apply(seed)
+        return state
+
+    def refreshed(self, deltas: Dict[str, Ops]) -> Optional["DeltaReducer"]:
+        """Catch the plan up; None (cold fallback) when broken."""
+        if self._broken:
+            return None
+        try:
+            self._apply(deltas)
+        except Exception:  # defensive: never serve a half-refreshed plan
+            self._broken = True
+            obs.count("delta.refresh_broken")
+            return None
+        return self
+
+    # ----------------------------------------------------------- the waves
+
+    def _apply(self, deltas: Dict[str, Ops]) -> None:
+        nodes = self.nodes
+        recheck_up: Dict[int, Set[Tup]] = {}
+        up_changed_keys: Dict[int, Set[Tup]] = {}
+        down_changed_keys: Dict[Tuple[int, int], Set[Tup]] = {}
+        up_flipped: Dict[int, Set[Tup]] = {}
+        appended: Dict[int, List[Tup]] = {}
+        n_ops = 0
+
+        # phase A: base ops (deletes adjust counters now, inserts queue)
+        for name, ops in deltas.items():
+            for idx in self._by_relation.get(name, ()):
+                node = nodes[idx]
+                for op, t in ops:
+                    row = node.atom_map.row_of(t)
+                    if row is None:
+                        continue
+                    n_ops += 1
+                    if op == "+":
+                        if row in node.rows:
+                            continue
+                        node.rows[row] = None  # phys index assigned below
+                        node.group_add(row)
+                        appended.setdefault(idx, []).append(row)
+                        recheck_up.setdefault(idx, set()).add(row)
+                        node.added_rows.append(row)
+                        node.dirty = True
+                    else:
+                        self._remove_row(node, row, appended.get(idx),
+                                         up_changed_keys, down_changed_keys)
+        obs.count("delta.ops_applied", n_ops)
+
+        if self._columnar:
+            for idx, new_rows in appended.items():
+                self._append_codes(nodes[idx], new_rows)
+
+        # phase B: bottom-up recheck of the up marks (children first, so
+        # a node sees its children's final up supports)
+        rechecked = 0
+        for idx in self.tree.bottom_up():
+            node = nodes[idx]
+            pending = recheck_up.get(idx, set())
+            for slot, child_idx in enumerate(node.children):
+                for key in up_changed_keys.get(child_idx, ()):
+                    pending |= node.cgroup[slot].get(key, set())
+            added_here = set(appended.get(idx, ()))
+            for row in pending:
+                if row not in node.rows:
+                    continue
+                rechecked += 1
+                new_up = True
+                for slot, child_idx in enumerate(node.children):
+                    if nodes[child_idx].up_count.get(
+                            node.ckey(slot, row), 0) <= 0:
+                        new_up = False
+                        break
+                if new_up == (row in node.up):
+                    continue
+                if new_up:
+                    node.up.add(row)
+                else:
+                    node.up.discard(row)
+                if node.bump(node.up_count, node.pkey(row),
+                             1 if new_up else -1) and node.parent is not None:
+                    up_changed_keys.setdefault(idx, set()).add(node.pkey(row))
+                up_flipped.setdefault(idx, set()).add(row)
+                if row not in added_here:
+                    node.append_only = False
+                node.dirty = True
+
+        # phase C: top-down recheck of the down marks (parents first, so
+        # a node sees its parent's final down supports)
+        recheck_down: Dict[int, Set[Tup]] = {}
+        for idx, flipped in up_flipped.items():
+            recheck_down.setdefault(idx, set()).update(flipped)
+        for idx, new_rows in appended.items():
+            recheck_down.setdefault(idx, set()).update(new_rows)
+        for idx in self.tree.top_down():
+            node = nodes[idx]
+            pending = recheck_down.get(idx, set())
+            if node.parent is not None:
+                for key in down_changed_keys.get((node.parent, node.slot),
+                                                 ()):
+                    pending |= node.pgroup.get(key, set())
+            added_here = set(appended.get(idx, ()))
+            for row in pending:
+                if row not in node.rows:
+                    continue
+                rechecked += 1
+                new_down = row in node.up
+                if new_down and node.parent is not None:
+                    parent = nodes[node.parent]
+                    new_down = parent.down_count[node.slot].get(
+                        node.pkey(row), 0) > 0
+                if new_down == (row in node.down):
+                    continue
+                if new_down:
+                    node.down.add(row)
+                else:
+                    node.down.discard(row)
+                if self._columnar:
+                    node.down_mask[node.rows[row]] = new_down
+                for slot, child_idx in enumerate(node.children):
+                    key = node.ckey(slot, row)
+                    if node.bump(node.down_count[slot], key,
+                                 1 if new_down else -1):
+                        down_changed_keys.setdefault((idx, slot),
+                                                     set()).add(key)
+                if row not in added_here:
+                    node.append_only = False
+                node.dirty = True
+        obs.count("delta.rows_rechecked", rechecked)
+
+        if self._columnar:
+            for node in nodes:
+                self._maybe_compact(node)
+
+    def _remove_row(self, node: _ReducerNode, row: Tup,
+                    batch: Optional[List[Tup]],
+                    up_changed_keys: Dict[int, Set[Tup]],
+                    down_changed_keys: Dict[Tuple[int, int], Set[Tup]]
+                    ) -> None:
+        if row not in node.rows:
+            return
+        node.dirty = True
+        if self._columnar and node.rows[row] is None:
+            # added earlier in this very batch, not yet encoded: cancel
+            # the pending append instead of tombstoning anything
+            if batch is not None:
+                try:
+                    batch.remove(row)
+                except ValueError:  # pragma: no cover - batch mirrors rows
+                    pass
+        else:
+            node.append_only = False
+        if row in node.up:
+            node.up.discard(row)
+            if node.bump(node.up_count, node.pkey(row), -1) \
+                    and node.parent is not None:
+                up_changed_keys.setdefault(node.index,
+                                           set()).add(node.pkey(row))
+        if row in node.down:
+            node.down.discard(row)
+            for slot in range(len(node.children)):
+                key = node.ckey(slot, row)
+                if node.bump(node.down_count[slot], key, -1):
+                    down_changed_keys.setdefault((node.index, slot),
+                                                 set()).add(key)
+        phys = node.rows[row]
+        if self._columnar and phys is not None:
+            node.down_mask[phys] = False
+        del node.rows[row]
+        node.group_remove(row)
+        try:
+            node.added_rows.remove(row)
+        except ValueError:
+            pass
+
+    # --------------------------------------------------------- columnar io
+
+    def _append_codes(self, node: _ReducerNode, new_rows: List[Tup]) -> None:
+        from repro.engine.columnar import _encode_rows
+
+        width = len(node.variables)
+        new_cols = _encode_rows(new_rows, width, self._dict)
+        if node.cols is None:
+            node.cols = new_cols if width else []
+            node.down_mask = np.zeros(len(new_rows), dtype=bool)
+        else:
+            node.cols = [np.concatenate([old, new])
+                         for old, new in zip(node.cols, new_cols)]
+            node.down_mask = np.concatenate(
+                [node.down_mask, np.zeros(len(new_rows), dtype=bool)])
+        for i, row in enumerate(new_rows):
+            node.rows[row] = node.size + i
+        node.size += len(new_rows)
+
+    def _maybe_compact(self, node: _ReducerNode) -> None:
+        dead = node.size - len(node.rows)
+        if dead <= max(1024, len(node.rows)):
+            return
+        keep = np.fromiter(node.rows.values(), dtype=np.int64,
+                           count=len(node.rows))
+        node.cols = [c[keep] for c in (node.cols or [])]
+        node.down_mask = node.down_mask[keep]
+        node.size = len(node.rows)
+        for i, row in enumerate(node.rows):
+            node.rows[row] = i
+
+    # ------------------------------------------------------------ emission
+
+    def _emit(self, node: _ReducerNode):
+        if not node.dirty and node.emitted is not None:
+            return node.emitted
+        if not self._columnar:
+            from repro.eval.join import VarRelation
+
+            rel = VarRelation(node.variables,
+                              (r for r in node.rows if r in node.down))
+        else:
+            prev = node.emitted
+            new_alive = [r for r in node.added_rows if r in node.down]
+            if (prev is not None and node.append_only
+                    and len(new_alive) == len(node.added_rows)):
+                if new_alive:
+                    phys = np.fromiter((node.rows[r] for r in new_alive),
+                                       dtype=np.int64, count=len(new_alive))
+                    rel = prev.extended_with(
+                        [c[phys] for c in node.cols], len(new_alive))
+                    obs.count("delta.emit_appends")
+                else:
+                    # every change this round was an append cancelled by a
+                    # same-batch delete: the emitted relation is unchanged
+                    rel = prev
+            else:
+                # a node that never saw a row has no encoded columns yet;
+                # emit one empty column per variable, not zero columns
+                cols = (node.cols if node.cols is not None
+                        else [np.zeros(0, dtype=np.int64)
+                              for _ in node.variables])
+                mask = (node.down_mask[:node.size]
+                        if node.down_mask is not None
+                        else np.zeros(0, dtype=bool))
+                rel = self._relcls.from_codes(
+                    node.variables,
+                    [c[:node.size][mask] for c in cols],
+                    len(node.down), self._dict)
+        node.emitted = rel
+        node.dirty = False
+        node.added_rows = []
+        node.append_only = True
+        return rel
+
+    def result(self):
+        """``(tree, reduced relations)`` in atom order."""
+        return self.tree, [self._emit(node) for node in self.nodes]
+
+
+# ------------------------------------------------------------------ counter
+
+
+class _CounterNode(_Node):
+    """``rows`` maps each present row to its DP contribution (product of
+    child message factors; 0 when some child key is dead); ``msg`` holds
+    the per-parent-key contribution sums with zero-sum keys removed."""
+
+    __slots__ = ("msg",)
+
+    def __init__(self, index: int, atom):
+        super().__init__(index, atom)
+        self.msg: Dict[Tup, int] = {}
+
+
+class DeltaCounter:
+    """An incrementally maintained Theorem 4.21 counting DP.
+
+    Engine-independent (rows and keys are plain value tuples) and exact:
+    the maintained total is the same int the cold message passing
+    computes, on any backend.  Unweighted only — float message sums are
+    order-sensitive, so weighted counting stays cold.
+    """
+
+    def __init__(self, cq: ConjunctiveQuery, tree: JoinTree):
+        self.cq = cq
+        self.tree = tree
+        self.nodes: List[_CounterNode] = _build_skeleton(
+            cq, tree, _CounterNode)
+        self._by_relation = _atoms_by_relation(self.nodes)
+        self._broken = False
+
+    @staticmethod
+    def supports(cq: ConjunctiveQuery) -> bool:
+        """Quantifier-free, comparison-free, no zero-ary atoms (those
+        take the truth-value short-circuits of the cold kernel)."""
+        if not cq.is_quantifier_free() or cq.has_comparisons():
+            return False
+        return all(len(atom.variables()) > 0 for atom in cq.atoms)
+
+    @classmethod
+    def build(cls, cq: ConjunctiveQuery, db: Database) -> "DeltaCounter":
+        tree = cached_join_tree(cq.hypergraph())
+        state = cls(cq, tree)
+        seed = {name: [("+", t) for t in db.relation(name)]
+                for name in cq.relation_names()}
+        with obs.span("delta.counter_build", nodes=len(state.nodes)):
+            state._apply(seed)
+        return state
+
+    def refreshed(self, deltas: Dict[str, Ops]) -> Optional["DeltaCounter"]:
+        if self._broken:
+            return None
+        try:
+            self._apply(deltas)
+        except Exception:  # defensive: never serve a half-refreshed plan
+            self._broken = True
+            obs.count("delta.refresh_broken")
+            return None
+        return self
+
+    def _adjust(self, node: _CounterNode, key: Tup, delta: int,
+                changed: Dict[int, Set[Tup]]) -> None:
+        if delta == 0:
+            return
+        new = node.msg.get(key, 0) + delta
+        if new:
+            node.msg[key] = new
+        else:
+            node.msg.pop(key, None)
+        if node.parent is not None:
+            changed.setdefault(node.index, set()).add(key)
+
+    def _apply(self, deltas: Dict[str, Ops]) -> None:
+        nodes = self.nodes
+        recheck: Dict[int, Set[Tup]] = {}
+        changed_keys: Dict[int, Set[Tup]] = {}
+        n_ops = 0
+        for name, ops in deltas.items():
+            for idx in self._by_relation.get(name, ()):
+                node = nodes[idx]
+                for op, t in ops:
+                    row = node.atom_map.row_of(t)
+                    if row is None:
+                        continue
+                    n_ops += 1
+                    if op == "+":
+                        if row in node.rows:
+                            continue
+                        node.rows[row] = 0
+                        node.group_add(row)
+                        recheck.setdefault(idx, set()).add(row)
+                    else:
+                        contrib = node.rows.pop(row, None)
+                        if contrib is None:
+                            continue
+                        node.group_remove(row)
+                        self._adjust(node, node.pkey(row), -contrib,
+                                     changed_keys)
+        obs.count("delta.ops_applied", n_ops)
+
+        rechecked = 0
+        for idx in self.tree.bottom_up():
+            node = nodes[idx]
+            pending = recheck.get(idx, set())
+            for slot, child_idx in enumerate(node.children):
+                for key in changed_keys.get(child_idx, ()):
+                    pending |= node.cgroup[slot].get(key, set())
+            for row in pending:
+                if row not in node.rows:
+                    continue
+                rechecked += 1
+                contrib = 1
+                for slot, child_idx in enumerate(node.children):
+                    factor = nodes[child_idx].msg.get(node.ckey(slot, row), 0)
+                    if factor == 0:
+                        contrib = 0
+                        break
+                    contrib *= factor
+                old = node.rows[row]
+                if contrib == old:
+                    continue
+                node.rows[row] = contrib
+                self._adjust(node, node.pkey(row), contrib - old,
+                             changed_keys)
+        obs.count("delta.rows_rechecked", rechecked)
+
+    def total(self) -> int:
+        """The maintained |join| (0 on an empty root message)."""
+        return self.nodes[self.tree.root].msg.get((), 0)
+
+
+__all__ = ["DeltaCounter", "DeltaReducer"]

@@ -238,13 +238,59 @@ class CompiledEngine(ColumnarEngine):
         obs.count("compiled.symbol_cache_misses")
         stale = [k for k in self._symbol_probes
                  if k[0] == name and k[1] == id(rel)]
+        cache: Dict[Any, Any] = {}
+        if stale:
+            cache = self._migrated_probes(
+                rel, max(stale, key=lambda k: k[2]))
         for k in stale:
             del self._symbol_probes[k]
-        cache: Dict[Any, Any] = {}
         self._symbol_probes[key] = (rel, cache)
         while len(self._symbol_probes) > SYMBOL_CACHE_LIMIT:
             self._symbol_probes.popitem(last=False)
         return cache
+
+    def _migrated_probes(self, rel, stale_key) -> Dict[Any, Any]:
+        """Seed a fresh per-symbol cache from its stale predecessor.
+
+        Only on an *append-only* delta (every effective op since the
+        stale version is an insert, so the new column layout is exactly
+        the old rows plus the appended ones at the end): each sorted
+        ``_BatchProbe`` entry whose packing tables still cover the new
+        values is merged forward in O(delta + log n)
+        (:meth:`repro.engine.enumerate._BatchProbe.extended`).  Radix
+        tables (the numba tier) have no merge path and rebuild lazily;
+        deletes or delta-log overflow migrate nothing — the probes
+        rebuild cold, which is always sound.
+        """
+        from repro.core.plancache import incremental_enabled
+
+        if not incremental_enabled():
+            return {}
+        ops = rel.deltas_since(stale_key[2])
+        if not ops or any(op != "+" for op, _t in ops):
+            return {}
+        old_cache = self._symbol_probes[stale_key][1]
+        added = [t for _op, t in ops]
+        columns: Dict[int, np.ndarray] = {}
+        migrated: Dict[Any, Any] = {}
+        for pkey, probe in old_cache.items():
+            extend = getattr(probe, "extended", None)
+            if extend is None or not (isinstance(pkey, tuple) and pkey
+                                      and pkey[0] == "radix_probe"):
+                continue
+            cols = []
+            for p in pkey[1]:
+                col = columns.get(p)
+                if col is None:
+                    col = self.dictionary.encode_values(
+                        [t[p] for t in added])
+                    columns[p] = col
+                cols.append(col)
+            patched = extend(cols, len(added))
+            if patched is not None:
+                migrated[pkey] = patched
+                obs.count("compiled.symbol_cache_patches")
+        return migrated
 
     def symbol_cache_stats(self) -> Dict[str, int]:
         """Introspection for tests/doctor: live per-symbol cache size."""

@@ -112,6 +112,45 @@ class _BatchProbe:
         self.order = np.argsort(packed, kind="stable")
         self.sorted_keys = packed[self.order]
 
+    def extended(self, new_key_columns: Sequence[np.ndarray], count: int
+                 ) -> Optional["_BatchProbe"]:
+        """A probe over this structure's rows plus ``count`` appended
+        rows, built by merging instead of re-sorting.
+
+        The packing steps are reusable only when every appended value
+        (and every intermediate packed key) already occurs in the
+        structure's sorted-unique tables — otherwise the densification
+        would assign codes the existing ``sorted_keys`` never saw, and
+        we return ``None`` so the caller falls back to a full rebuild.
+        Appended rows are merged after all equal existing keys
+        (``side='right'``), which is exactly where a stable argsort of
+        the extended columns would put them, so lookups on the patched
+        probe are indistinguishable from a cold build.
+        """
+        packed = np.zeros(count, dtype=np.int64)
+        for (su, cu), col in zip(self.steps, new_key_columns):
+            col = np.ascontiguousarray(col, dtype=np.int64)
+            if len(cu) == 0 or len(su) == 0:
+                return None
+            ci = np.searchsorted(cu, col)
+            np.clip(ci, 0, len(cu) - 1, out=ci)
+            if not (cu[ci] == col).all():
+                return None
+            si = np.searchsorted(su, packed)
+            np.clip(si, 0, len(su) - 1, out=si)
+            if not (su[si] == packed).all():
+                return None
+            packed = si * len(cu) + ci
+        pos = np.searchsorted(self.sorted_keys, packed, side="right")
+        patched = _BatchProbe.__new__(_BatchProbe)
+        patched.nrows = self.nrows + count
+        patched.steps = self.steps
+        patched.order = np.insert(
+            self.order, pos,
+            np.arange(self.nrows, self.nrows + count, dtype=np.int64))
+        patched.sorted_keys = np.insert(self.sorted_keys, pos, packed)
+        return patched
+
     def lookup(self, key_columns: Sequence[np.ndarray], k: int
                ) -> Tuple[np.ndarray, np.ndarray]:
         """Resolve a batch of ``k`` probe keys to ``(lo, counts)``:

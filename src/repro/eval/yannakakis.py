@@ -83,9 +83,28 @@ def full_reducer(cq: ConjunctiveQuery, db: Database,
     without corrupting the cache.
     """
     if tree is None and relations is None:
-        from repro.core.plancache import cached_plan
+        from repro.core.plancache import (cached_plan, incremental_enabled,
+                                          plan_cache_enabled)
 
         eng = _engine(engine)
+        if incremental_enabled() and plan_cache_enabled():
+            from repro.dynamic.delta import DeltaReducer
+
+            # delta-propagated reduction: the cached artefact is a
+            # DeltaReducer whose emitted relations are byte-identical
+            # (contents and row order) to _full_reduce's on this engine;
+            # updates refresh it through the per-relation delta logs
+            # instead of re-materialising ||D||.  A distinct plan kind
+            # keeps the stateful entries apart from the cold ones when
+            # incremental mode is toggled mid-process.
+            if DeltaReducer.supports(cq, eng):
+                state = cached_plan(
+                    "full_reducer_inc", cq, db, eng.name,
+                    lambda: DeltaReducer.build(cq, db, eng),
+                    extra=eng.plan_key(),
+                    refresher=lambda st, deltas: st.refreshed(deltas))
+                tree, reduced = state.result()
+                return tree, [r.copy() for r in reduced]
         # the engine's plan_key folds the shard configuration (worker
         # count, fallback threshold) into the cache key: a reduction
         # computed under one fan-out must not serve another

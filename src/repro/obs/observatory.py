@@ -813,3 +813,110 @@ def run_compiled_suite(timestamp: str,
                     expectation=expected_verdict(fc_query, "delay"),
                     kernel_tier=tier),
     ]
+
+
+#: the incremental-maintenance suite: warm delta refresh vs cold rebuild
+DYNAMIC_SUITE = "dynamic"
+
+
+def run_dynamic_suite(timestamp: str, size: int = 100_000,
+                      delta_fractions: Optional[Sequence[float]] = None,
+                      repeats: int = 2, seed: int = 7,
+                      engine: str = "columnar") -> List[Dict[str, Any]]:
+    """Measure delta-propagated plan refresh against cold re-preprocessing.
+
+    One fixed two-atom acyclic join at ``size`` tuples per relation; per
+    delta fraction ``f``, an *update+query cycle* applies
+    ``max(1, size*f)`` random inserts/deletes to the base relations and
+    then re-runs the query.  Warm cycles run with ``REPRO_INCREMENTAL``
+    semantics on (the cached plan is caught up through the per-relation
+    delta logs); cold cycles disable the plan cache so every
+    preprocessing artefact — dictionary encoding, semijoin reduction,
+    counting DP — is rebuilt from ``||D||``.  Two cases:
+
+    * ``dynamic/count_refresh`` — Theorem 4.21 counting cycle wall time;
+    * ``dynamic/reduce_refresh`` — full-reducer cycle wall time.
+
+    Points use ``n`` = delta ops and ``value`` = warm wall seconds, with
+    the cold wall riding along as ``cold_seconds`` and the ratio as
+    ``speedup_x`` (headline ``best_speedup_x``).  ``fit=False``: the
+    axis is a delta size, not an instance size, so a log-log slope over
+    it is not a scaling law.  No expectation is attached — the largest
+    fraction deliberately overflows the default delta-log capacity and
+    degrades to a ~1x cold fallback, which is the documented boundary,
+    not a regression (warn-only by design).
+    """
+    import random
+    import time
+
+    from repro.core.planner import count
+    from repro.core.plancache import (clear_plan_cache, incremental_scope,
+                                      plan_cache_disabled)
+    from repro.data import generators
+    from repro.eval.yannakakis import full_reducer
+    from repro.logic.parser import parse_cq
+
+    provenance = collect_provenance(timestamp, engine=engine)
+    if delta_fractions is None:
+        delta_fractions = (0.001, 0.01, 0.1)
+    query = parse_cq("Q(x, z, y) :- R(x, z), S(z, y)")
+    db = generators.random_database({"R": 2, "S": 2}, max(4, size // 4),
+                                    size, seed=seed)
+    rng = random.Random(seed)
+    names = ["R", "S"]
+    domain = max(4, size // 4)
+
+    def apply_batch(k: int) -> None:
+        for _ in range(k):
+            rel = db.relation(rng.choice(names))
+            tup = (rng.randrange(domain), rng.randrange(domain))
+            if rng.random() < 0.5:
+                rel.add(tup)
+            else:
+                rel.discard(tup)
+
+    def timed_cycles(k: int, fn) -> float:
+        best = math.inf
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            apply_batch(k)
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    count_points, reduce_points = [], []
+    for fraction in delta_fractions:
+        k = max(1, int(size * fraction))
+        with incremental_scope(True):
+            clear_plan_cache()
+            count(query, db, engine=engine)        # prime the warm state
+            full_reducer(query, db, engine=engine)
+            count_warm = timed_cycles(k, lambda: count(query, db,
+                                                       engine=engine))
+            reduce_warm = timed_cycles(k, lambda: full_reducer(
+                query, db, engine=engine))
+        with incremental_scope(False), plan_cache_disabled():
+            count_cold = timed_cycles(k, lambda: count(query, db,
+                                                       engine=engine))
+            reduce_cold = timed_cycles(k, lambda: full_reducer(
+                query, db, engine=engine))
+        count_points.append({"n": k, "value": count_warm,
+                             "delta_fraction": fraction,
+                             "speedup_x": count_cold / count_warm,
+                             "cold_seconds": count_cold})
+        reduce_points.append({"n": k, "value": reduce_warm,
+                              "delta_fraction": fraction,
+                              "speedup_x": reduce_cold / reduce_warm,
+                              "cold_seconds": reduce_cold})
+    return [
+        make_record(DYNAMIC_SUITE, "dynamic/count_refresh", "wall_seconds",
+                    count_points, provenance=provenance, instance_size=size,
+                    fit=False,
+                    best_speedup_x=max(p["speedup_x"]
+                                       for p in count_points)),
+        make_record(DYNAMIC_SUITE, "dynamic/reduce_refresh", "wall_seconds",
+                    reduce_points, provenance=provenance, instance_size=size,
+                    fit=False,
+                    best_speedup_x=max(p["speedup_x"]
+                                       for p in reduce_points)),
+    ]

@@ -50,9 +50,13 @@ def test_hit_miss_accounting():
     cache.put(key, "plan")
     assert cache.get(key) == "plan"
     assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0,
+                             "refreshes": 0, "refresh_overflows": 0,
+                             "refresh_fallbacks": 0,
                              "entries": 1, "maxsize": 4}
     cache.clear()
     assert cache.stats() == {"hits": 0, "misses": 0, "evictions": 0,
+                             "refreshes": 0, "refresh_overflows": 0,
+                             "refresh_fallbacks": 0,
                              "entries": 0, "maxsize": 4}
 
 
