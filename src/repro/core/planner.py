@@ -42,14 +42,22 @@ def enumerate_answers(query: QueryLike, db: Database, engine=None,
     ``engine`` selects the relational backend (see :mod:`repro.engine`)
     and ``block_size`` the batched pipeline's amortisation block for the
     engines that support it; both default to the process-wide selection.
+
+    When the delay-guarantee watchdog is installed
+    (:func:`repro.obs.watchdog.install` / ``REPRO_WATCHDOG=1``), the
+    answer stream is wrapped so delay observations recorded while it
+    runs are attributed to this query's plan label and checked against
+    its classifier-derived expectation.
     """
+    from repro.obs.watchdog import maybe_watch
+
+    inner = maybe_watch(query, _enumerate_answers(query, db, engine=engine,
+                                                  block_size=block_size))
     if not obs.enabled():
-        yield from _enumerate_answers(query, db, engine=engine,
-                                      block_size=block_size)
+        yield from inner
         return
     with obs.span("planner.enumerate", query=type(query).__name__):
-        yield from _enumerate_answers(query, db, engine=engine,
-                                      block_size=block_size)
+        yield from inner
 
 
 def _enumerate_answers(query: QueryLike, db: Database, engine=None,

@@ -250,9 +250,11 @@ class DeltaReducer:
             return None
         try:
             self._apply(deltas)
-        except Exception:  # defensive: never serve a half-refreshed plan
+        except Exception as exc:  # defensive: never serve a half-refreshed plan
             self._broken = True
             obs.count("delta.refresh_broken")
+            obs.event("delta.refresh_broken", plan=type(self).__name__,
+                      error=repr(exc))
             return None
         return self
 
@@ -551,9 +553,11 @@ class DeltaCounter:
             return None
         try:
             self._apply(deltas)
-        except Exception:  # defensive: never serve a half-refreshed plan
+        except Exception as exc:  # defensive: never serve a half-refreshed plan
             self._broken = True
             obs.count("delta.refresh_broken")
+            obs.event("delta.refresh_broken", plan=type(self).__name__,
+                      error=repr(exc))
             return None
         return self
 

@@ -223,6 +223,8 @@ class CompiledEngine(ColumnarEngine):
         # argument as PlanCache); a version bump changes the key, so
         # stale probes are unreachable and age out by LRU.
         self._symbol_probes: "OrderedDict[Tuple[str, int, int], Tuple[Any, Dict[Any, Any]]]" = OrderedDict()
+        obs.gauge("compiled.kernel_tier_numba", 1 if kernel_tier() == "numba"
+                  else 0)
 
     def relation(self, variables, tuples=None):
         return CompiledRelation(variables, tuples,

@@ -41,6 +41,7 @@ random free-connex queries.
 from __future__ import annotations
 
 import os
+import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -351,12 +352,22 @@ class BlockIterator:
     # -------------------------------------------------------------- iteration
 
     def blocks(self) -> Iterator[List[Tup]]:
-        """Yield answer blocks (lists of head tuples) of size <= B."""
+        """Yield answer blocks (lists of head tuples) of size <= B.
+
+        Each block's production gap (consumer time excluded: the clock
+        restarts after the yield returns) feeds the always-on registry's
+        amortised per-answer delay sketch — one ``obs.delay`` per block,
+        weight = answers, so the per-answer hot path stays untouched."""
         if self._empty:
             return
         root = self._relations[self._order[0]]
         batch = {v: root.column(v) for v in root.variables}
-        yield from self._walk(1, batch, len(root))
+        clock = time.perf_counter_ns
+        last = clock()
+        for block in self._walk(1, batch, len(root)):
+            obs.delay(clock() - last, len(block))
+            yield block
+            last = clock()
 
     def __iter__(self) -> Iterator[Tup]:
         for block in self.blocks():

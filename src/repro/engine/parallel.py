@@ -55,6 +55,7 @@ from __future__ import annotations
 import atexit
 import os
 import queue as queue_mod
+import time
 import traceback
 import weakref
 from collections import OrderedDict
@@ -375,10 +376,35 @@ def _revive_span(data: Dict[str, Any], pid: int):
     return span
 
 
+def _task_meta(tracer=None) -> Optional[Dict[str, Any]]:
+    """Build one result message's metadata, worker side.
+
+    The worker's always-on registry delta (counters/gauges/sketches
+    accumulated since the last ship) rides on *every* result — this is
+    the piggyback on the existing wave round-trips that lets one driver
+    registry cover all engine tiers.  Spans and tracer counters are
+    attached only when the task was traced."""
+    meta: Dict[str, Any] = {}
+    state = obs.registry().drain()
+    if state:
+        meta["registry"] = state
+    if tracer is not None:
+        meta["pid"] = os.getpid()
+        meta["spans"] = [_serialise_span(s) for s in tracer.roots]
+        meta["counters"] = dict(tracer.counters)
+    return meta or None
+
+
 def _absorb_meta(meta: Optional[Dict[str, Any]]) -> None:
-    """Graft one task's worker-side trace (spans + counters) into the
-    driver's live tracer."""
-    if not meta or not obs.enabled():
+    """Fold one task's worker-side telemetry into the driver: registry
+    deltas always (merge is order-independent), the trace graft
+    (spans + counters, real worker pid) when the driver is tracing."""
+    if not meta:
+        return
+    state = meta.get("registry")
+    if state:
+        obs.registry().merge_state(state)
+    if "spans" not in meta or not obs.enabled():
         return
     tracer = obs.tracer()
     pid = meta["pid"]
@@ -572,13 +598,10 @@ def _worker_main(worker_index: int, tasks, results) -> None:
                                       task="batch", items=len(payload)):
                             outs = [_HANDLERS[k](p, results, tid)
                                     for k, p in payload]
-                    meta = {"pid": os.getpid(),
-                            "spans": [_serialise_span(s)
-                                      for s in tracer.roots],
-                            "counters": dict(tracer.counters)}
+                    meta = _task_meta(tracer)
                 else:
                     outs = [_HANDLERS[k](p, results, tid) for k, p in payload]
-                    meta = None
+                    meta = _task_meta()
                 results.put(("ok", tid, outs, meta))
                 continue
             handler = _HANDLERS[kind]
@@ -587,12 +610,10 @@ def _worker_main(worker_index: int, tasks, results) -> None:
                     with obs.span("parallel.worker", worker=worker_index,
                                   task=kind):
                         out = handler(payload, results, tid)
-                meta = {"pid": os.getpid(),
-                        "spans": [_serialise_span(s) for s in tracer.roots],
-                        "counters": dict(tracer.counters)}
+                meta = _task_meta(tracer)
             else:
                 out = handler(payload, results, tid)
-                meta = None
+                meta = _task_meta()
             results.put(("ok", tid, out, meta))
         except Exception:
             results.put(("err", tid, traceback.format_exc(), None))
@@ -742,10 +763,13 @@ def get_pool(workers: int) -> WorkerPool:
         # segments; drop the cache so its shared-memory registrations
         # cannot leak into the next generation's lifetime
         obs.count("parallel.pool_respawn")
+        obs.event("pool.respawn", workers=workers,
+                  dead=[p.name for p in pool.procs if not p.is_alive()])
         invalidate_arena_cache()
         pool.shutdown()
     else:
         obs.count("parallel.pool_spawn")
+        obs.event("pool.spawn", workers=workers)
     with obs.span("parallel.pool_start", workers=workers):
         pool = WorkerPool(workers)
         # synchronise on worker imports finishing, so the first real
@@ -1164,6 +1188,10 @@ class ParallelBlockIterator:
         pending: Dict[Tuple[int, int], Any] = {}
         totals: Dict[int, int] = {}
         next_chunk, next_seq = 0, 0
+        # block-gap clock for the always-on delay sketch: one reading per
+        # merged block, consumer time excluded (restart after the yield)
+        clock = time.perf_counter_ns
+        last = clock()
         while next_chunk < nchunks:
             if next_chunk in totals and next_seq >= totals[next_chunk]:
                 next_chunk += 1
@@ -1176,11 +1204,14 @@ class ParallelBlockIterator:
                 obs.count("enum.blocks")
                 if isinstance(payload, int):  # zero-ary head
                     obs.count("enum.answers", payload)
+                    obs.delay(clock() - last, payload)
                     yield [()] * payload
                 else:
                     obs.count("enum.answers", len(payload[0]))
                     decoded = [table[c].tolist() for c in payload]
+                    obs.delay(clock() - last, len(payload[0]))
                     yield list(zip(*decoded))
+                last = clock()
                 continue
             msg = pool.recv()
             if msg[0] == "block":

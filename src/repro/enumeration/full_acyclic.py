@@ -34,6 +34,11 @@ from repro.hypergraph.jointree import JoinTree, build_join_tree
 from repro.logic.terms import Variable
 
 
+#: answers amortised into one registry call on the tuple-path probe
+#: join (mirrors the batched pipeline's per-block recording)
+_DELAY_STRIDE = 256
+
+
 def reduce_relations(tree: JoinTree, relations: List[VarRelation],
                      engine=None) -> List[VarRelation]:
     """Full reducer on bare relations along a join tree (node i uses
@@ -192,6 +197,41 @@ class FullJoinEnumerator(Enumerator):
         if self._block_iter is not None:
             yield from self._block_iter
             return
+        if obs.registry().enabled:
+            yield from self._enumerate_recorded()
+            return
+        yield from self._probe_join()
+
+    def _enumerate_recorded(self) -> Iterator[Answer]:
+        """The tuple-path probe join with amortised delay recording.
+
+        The batched pipeline records one ``obs.delay`` per kernel block
+        (see :meth:`repro.engine.enumerate.BlockIterator.blocks`); the
+        tuple path has no native blocks, so production gaps are summed
+        across ``_DELAY_STRIDE`` answers before one registry call.
+        Clock reads bracket each yield, so consumer time between
+        answers never inflates the delay sketch."""
+        import time
+
+        clock = time.perf_counter_ns
+        produced = 0
+        gap_acc = 0
+        last = clock()
+        for tup in self._probe_join():
+            gap_acc += clock() - last
+            produced += 1
+            yield tup
+            last = clock()
+            if produced >= _DELAY_STRIDE:
+                obs.count("enum.answers", produced)
+                obs.delay(gap_acc, produced)
+                produced = 0
+                gap_acc = 0
+        if produced:
+            obs.count("enum.answers", produced)
+            obs.delay(gap_acc, produced)
+
+    def _probe_join(self) -> Iterator[Answer]:
         order = self._order
         relations = self._relations
         probe_vars = self._probe_vars

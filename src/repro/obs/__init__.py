@@ -28,7 +28,16 @@ Activation: :func:`enable` / :func:`capture` / the CLI flags
 (``--trace FILE``, ``--metrics``, ``repro explain``), or the
 ``REPRO_TRACE`` environment variable — ``1``/``true`` enables tracing
 for the process, any other non-empty value is treated as a path and the
-Chrome trace is written there at interpreter exit.
+Chrome trace (plus a ``<path>.metrics.json`` dump) is written there at
+interpreter exit.
+
+Independently of the scoped tracer, every :func:`count`/:func:`gauge`
+call and every :func:`span` duration also feeds the process-wide
+always-on :mod:`~repro.obs.registry` (counters, gauges, log-bucketed
+quantile sketches), which is what ``repro metrics-serve`` / ``repro
+top`` expose and the :mod:`~repro.obs.watchdog` monitors.  Disable it
+with ``REPRO_METRICS=0``; enable the delay-guarantee watchdog at
+import with ``REPRO_WATCHDOG=1``.
 """
 
 from __future__ import annotations
@@ -44,6 +53,10 @@ from repro.obs.export import (
     render_explain,
     write_chrome_trace as _write_chrome_trace,
 )
+from repro.obs.registry import (
+    MetricsRegistry,
+    registry,
+)
 from repro.obs.trace import (
     NULL_SPAN,
     NULL_TRACER,
@@ -53,8 +66,10 @@ from repro.obs.trace import (
 )
 
 ENV_VAR = "REPRO_TRACE"
+WATCHDOG_ENV_VAR = "REPRO_WATCHDOG"
 
 _TRACER: Union[Tracer, NullTracer] = NULL_TRACER
+_REGISTRY: MetricsRegistry = registry()
 
 
 def tracer() -> Union[Tracer, NullTracer]:
@@ -68,22 +83,52 @@ def enabled() -> bool:
 
 
 def span(name: str, **attrs: Any):
-    """Context manager timing one named region on the active tracer."""
-    return _TRACER.span(name, **attrs)
+    """Context manager timing one named region.
+
+    With a tracer active it records a full span (tree position, pid,
+    attributes); otherwise, with the always-on registry enabled, the
+    duration still lands in the registry's ``phase.<name>`` latency
+    sketch; with both off it is the usual no-op null context."""
+    t = _TRACER
+    if t.enabled:
+        return t.span(name, **attrs)
+    r = _REGISTRY
+    if r.enabled:
+        return r.timed(name)
+    return t.span(name, **attrs)
 
 
 def count(name: str, n: Any = 1) -> None:
-    """Accumulate onto a named counter (no-op while disabled)."""
+    """Accumulate onto a named counter: the scoped tracer when one is
+    active, and always the process-wide registry."""
     t = _TRACER
     if t.enabled:
         t.count(name, n)
+    _REGISTRY.count(name, n)
 
 
 def gauge(name: str, value: Any) -> None:
-    """Record a named gauge value (no-op while disabled)."""
+    """Record a named gauge value (tracer when active + registry)."""
     t = _TRACER
     if t.enabled:
         t.gauge(name, value)
+    _REGISTRY.gauge(name, value)
+
+
+def delay(gap_ns: int, answers: int = 1) -> None:
+    """Record an enumeration gap covering ``answers`` answers into the
+    registry's ``enum.delay_ns`` sketch (amortised: the sketch stores
+    the per-answer share with weight = answers) and notify any delay
+    listeners (the guarantee watchdog)."""
+    _REGISTRY.record_delay(gap_ns, answers)
+
+
+def event(name: str, **fields: Any) -> Dict[str, Any]:
+    """Emit a discrete structured event (NDJSON log + in-memory ring +
+    an ``event.<name>`` registry counter)."""
+    from repro.obs.expose import emit_event
+
+    return emit_event(name, **fields)
 
 
 def enable(t: Optional[Tracer] = None) -> Tracer:
@@ -130,26 +175,47 @@ def write_chrome_trace(path: str,
     return _write_chrome_trace(path, t if t is not None else _TRACER)
 
 
+def _atexit_dump(path: str) -> str:
+    """The ``REPRO_TRACE=<path>`` exit hook: Chrome trace at ``path``
+    plus a ``<path>.metrics.json`` metrics dump (counters/gauges/
+    plan-cache/registry) so the flat numbers are not lost unless
+    ``--metrics`` was passed explicitly."""
+    import json
+
+    _write_chrome_trace(path, _TRACER)
+    metrics_path = path + ".metrics.json"
+    with open(metrics_path, "w") as fh:
+        json.dump(metrics_dump(_TRACER), fh, indent=2, default=str)
+    return metrics_path
+
+
 def _init_from_environment() -> None:
     """Honour ``REPRO_TRACE`` at import: enable tracing, and when the
-    value names a file, dump the Chrome trace there at process exit."""
+    value names a file, dump the Chrome trace + metrics there at
+    process exit.  ``REPRO_WATCHDOG`` installs the delay-guarantee
+    watchdog process-wide."""
     value = os.environ.get(ENV_VAR, "").strip()
-    if not value or value.lower() in ("0", "false", "off", "no"):
-        return
-    enable()
-    if value.lower() in ("1", "true", "yes", "on"):
-        return
-    import atexit
+    if value and value.lower() not in ("0", "false", "off", "no"):
+        enable()
+        if value.lower() not in ("1", "true", "yes", "on"):
+            import atexit
 
-    atexit.register(lambda: _write_chrome_trace(value, _TRACER))
+            atexit.register(lambda: _atexit_dump(value))
+    wd = os.environ.get(WATCHDOG_ENV_VAR, "").strip()
+    if wd and wd.lower() not in ("0", "false", "off", "no"):
+        from repro.obs.watchdog import install as _install_watchdog
+
+        _install_watchdog()
 
 
 _init_from_environment()
 
 __all__ = [
     "ENV_VAR",
+    "WATCHDOG_ENV_VAR",
     "NULL_SPAN",
     "NULL_TRACER",
+    "MetricsRegistry",
     "NullTracer",
     "Span",
     "Tracer",
@@ -157,12 +223,15 @@ __all__ = [
     "chrome_trace",
     "chrome_trace_events",
     "count",
+    "delay",
     "disable",
     "enable",
     "enabled",
+    "event",
     "gauge",
     "metrics",
     "metrics_dump",
+    "registry",
     "render_explain",
     "span",
     "tracer",

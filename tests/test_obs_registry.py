@@ -1,0 +1,275 @@
+"""Tests for the always-on metrics registry (repro.obs.registry) and
+its quantile sketches (repro.obs.sketch): bucket accuracy, merge
+order-independence, drain/merge transport, always-on collection with
+the tracer disabled, and counter exactness across worker fan-outs."""
+
+import os
+import random
+
+import pytest
+
+from repro import obs
+from repro.core.plancache import clear_plan_cache
+from repro.core.planner import enumerate_answers
+from repro.data.generators import random_database
+from repro.logic.parser import parse_query
+from repro.obs.registry import MetricsRegistry, registry, set_enabled, \
+    suspended
+from repro.obs.sketch import QuantileSketch, bucket_bounds, bucket_index
+
+FULL_QUERY = "Q(x, z, y) :- R(x, z), S(z, y)"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    clear_plan_cache()
+    registry().reset()
+    prev = set_enabled(True)
+    yield
+    set_enabled(prev)
+    registry().reset()
+    clear_plan_cache()
+    obs.disable()
+
+
+def _demo_db(n=200, seed=1):
+    return random_database({"R": 2, "S": 2}, domain_size=50,
+                           tuples_per_relation=n, seed=seed)
+
+
+# ------------------------------------------------------------------ sketch
+
+
+def test_bucket_bounds_contain_value():
+    for v in [0, 1, 7, 8, 9, 15, 16, 17, 100, 1_000, 123_456, 10**9, 10**12]:
+        lo, hi = bucket_bounds(bucket_index(v))
+        assert lo <= v < hi, (v, lo, hi)
+
+
+def test_bucket_relative_error_bounded():
+    # log-linear bucketing with 8 sub-buckets per octave: width <= 12.5%
+    for v in [20, 333, 5_000, 77_777, 10**6, 10**9]:
+        lo, hi = bucket_bounds(bucket_index(v))
+        assert (hi - lo) / lo <= 0.125 + 1e-9
+
+
+def test_sketch_quantiles_accurate_on_random_data():
+    rng = random.Random(42)
+    values = [rng.randrange(1, 10**9) for _ in range(20_000)]
+    sk = QuantileSketch()
+    for v in values:
+        sk.add(v)
+    values.sort()
+    for q in (0.5, 0.95, 0.99, 0.999):
+        exact = values[min(len(values) - 1, int(q * len(values)))]
+        approx = sk.quantile(q)
+        assert abs(approx - exact) / exact < 0.15, (q, exact, approx)
+
+
+def test_sketch_merge_is_order_independent():
+    rng = random.Random(7)
+    parts = []
+    for _ in range(5):
+        sk = QuantileSketch()
+        for _ in range(1_000):
+            sk.add(rng.randrange(1, 10**7))
+        parts.append(sk)
+    orders = [parts, list(reversed(parts)),
+              [parts[2], parts[0], parts[4], parts[1], parts[3]]]
+    merged = [QuantileSketch.merged(order) for order in orders]
+    for other in merged[1:]:
+        assert other.buckets == merged[0].buckets
+        assert other.count == merged[0].count
+        assert other.total == merged[0].total
+        assert other.min == merged[0].min and other.max == merged[0].max
+
+
+def test_sketch_dict_round_trip_and_weights():
+    sk = QuantileSketch()
+    sk.add(1_000, weight=10)
+    sk.add(2_000, weight=5)
+    clone = QuantileSketch.from_dict(sk.to_dict())
+    assert clone.count == 15
+    assert clone.total == sk.total
+    assert clone.buckets == sk.buckets
+    assert clone.summary() == sk.summary()
+
+
+def test_sketch_empty_and_negative():
+    sk = QuantileSketch()
+    assert sk.quantile(0.5) == 0
+    sk.add(-5)  # clamped to zero, not dropped
+    assert sk.count == 1
+    assert sk.quantile(0.99) == 0
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_registry_counts_and_gauges_exact():
+    reg = MetricsRegistry()
+    reg.enabled = True
+    for _ in range(100):
+        reg.count("a")
+    reg.count("b", 42)
+    reg.gauge("g", 3.5)
+    snap = reg.snapshot()
+    assert snap["counters"] == {"a": 100, "b": 42}
+    assert snap["gauges"] == {"g": 3.5}
+
+
+def test_registry_drain_and_merge_round_trip():
+    worker = MetricsRegistry()
+    worker.enabled = True
+    worker.count("w.tasks", 3)
+    worker.observe("w.lat", 500, weight=2)
+    state = worker.drain()
+    assert state is not None
+    assert worker.drain() is None          # drained registry is empty
+    driver = MetricsRegistry()
+    driver.enabled = True
+    driver.count("w.tasks", 1)
+    driver.merge_state(state)
+    snap = driver.snapshot()
+    assert snap["counters"]["w.tasks"] == 4
+    assert snap["sketches"]["w.lat"]["count"] == 2
+
+
+def test_registry_merge_is_commutative():
+    states = []
+    for seed in range(3):
+        reg = MetricsRegistry()
+        reg.enabled = True
+        rng = random.Random(seed)
+        for _ in range(200):
+            reg.observe("lat", rng.randrange(1, 10**6))
+        reg.count("n", seed + 1)
+        states.append(reg.drain())
+    a = MetricsRegistry()
+    a.enabled = True
+    b = MetricsRegistry()
+    b.enabled = True
+    for st in states:
+        a.merge_state(st)
+    for st in reversed(states):
+        b.merge_state(st)
+    assert a.snapshot() == b.snapshot()
+
+
+def test_registry_disabled_records_nothing():
+    reg = MetricsRegistry()
+    reg.enabled = False
+    reg.count("x")
+    reg.observe("y", 5)
+    reg.record_delay(100, 1)
+    assert reg.drain() is None
+
+
+def test_suspended_context_manager():
+    reg = registry()
+    with suspended():
+        obs.count("inside.suspend")
+    obs.count("after.suspend")
+    assert reg.counter("inside.suspend") == 0
+    assert reg.counter("after.suspend") == 1
+
+
+def test_record_delay_weights_and_listener():
+    reg = MetricsRegistry()
+    reg.enabled = True
+    seen = []
+    reg.add_delay_listener(lambda gap, answers: seen.append((gap, answers)))
+    reg.record_delay(10_000, answers=10)
+    sk = reg.sketch("enum.delay_ns")
+    assert sk.count == 10                 # weight = answers
+    assert seen == [(10_000, 10)]
+    reg.remove_delay_listener(seen.append)  # unknown fn: no-op
+
+
+# ------------------------------------------------------------- always-on
+
+
+def test_registry_collects_with_tracer_disabled():
+    assert not obs.enabled()
+    q = parse_query(FULL_QUERY)
+    db = _demo_db()
+    answers = sum(1 for _ in enumerate_answers(q, db))
+    snap = registry().snapshot()
+    assert snap["counters"]["enum.answers"] == answers
+    assert snap["sketches"]["enum.delay_ns"]["count"] == answers
+    # spans routed into phase sketches even without a tracer
+    assert any(name.startswith("phase.") for name in snap["sketches"])
+
+
+def test_span_feeds_tracer_when_enabled_registry_otherwise():
+    with obs.capture() as tr:
+        with obs.span("only.in.tracer"):
+            pass
+    assert any(s.name == "only.in.tracer" for s in tr.spans)
+    assert registry().sketch("phase.only.in.tracer") is None
+    with obs.span("only.in.registry"):
+        pass
+    assert registry().sketch("phase.only.in.registry") is not None
+
+
+def test_metrics_env_var_disables(monkeypatch):
+    monkeypatch.setenv("REPRO_METRICS", "off")
+    reg = MetricsRegistry()
+    assert not reg.enabled
+    monkeypatch.setenv("REPRO_METRICS", "1")
+    assert MetricsRegistry().enabled
+    monkeypatch.delenv("REPRO_METRICS")
+    assert MetricsRegistry().enabled
+
+
+# ------------------------------------------------------- worker exactness
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_counters_exact_across_worker_counts(workers):
+    from repro.engine.parallel import ParallelEngine
+
+    q = parse_query(FULL_QUERY)
+    db = _demo_db(n=600, seed=3)
+    eng = ParallelEngine(workers=workers, threshold=0)
+    registry().reset()
+    answers = sum(1 for _ in enumerate_answers(q, db, engine=eng))
+    assert answers > 0
+    snap = registry().snapshot()
+    assert snap["counters"]["enum.answers"] == answers
+    assert snap["sketches"]["enum.delay_ns"]["count"] == answers
+
+
+def test_worker_phase_sketches_merged_into_driver():
+    from repro.engine.parallel import ParallelEngine
+
+    q = parse_query(FULL_QUERY)
+    db = _demo_db(n=600, seed=4)
+    eng = ParallelEngine(workers=2, threshold=0)
+    registry().reset()
+    sum(1 for _ in enumerate_answers(q, db, engine=eng))
+    names = set(registry().snapshot()["sketches"])
+    # worker-side phases only exist in worker processes; their sketches
+    # must have crossed the wave round-trips into the driver registry
+    assert any(n.startswith("phase.parallel.") for n in names), names
+
+
+def test_adopted_worker_spans_carry_pid_in_chrome_export():
+    from repro.engine.parallel import ParallelEngine
+    from repro.obs.export import chrome_trace_events
+
+    q = parse_query(FULL_QUERY)
+    db = _demo_db(n=600, seed=5)
+    eng = ParallelEngine(workers=2, threshold=0)
+    with obs.capture() as tr:
+        sum(1 for _ in enumerate_answers(q, db, engine=eng))
+    events = chrome_trace_events(tr)
+    me = os.getpid()
+    worker_events = [e for e in events
+                     if e["ph"] == "X" and e["pid"] != me]
+    assert worker_events, "no adopted worker spans in the export"
+    assert all("tid" in e for e in worker_events)
+    names = [e for e in events if e["ph"] == "M"
+             and e["name"] == "process_name"]
+    labels = {e["args"]["name"] for e in names}
+    assert "repro driver" in labels and "repro worker" in labels

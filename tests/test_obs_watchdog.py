@@ -1,0 +1,216 @@
+"""Tests for the delay-guarantee watchdog (repro.obs.watchdog): fires
+on a constant-delay plan forced onto a superlinear path, stays silent
+on the compliant path and on linear-delay plans, attributes delay
+observations through nested generators, and retains tail traces only
+for breaching requests."""
+
+import pytest
+
+from repro import obs
+from repro.core.plancache import clear_plan_cache
+from repro.core.planner import enumerate_answers
+from repro.data.generators import random_database
+from repro.logic.parser import parse_cq, parse_query
+from repro.obs import watchdog as wdmod
+from repro.obs.expose import event_log
+from repro.obs.registry import registry, set_enabled
+from repro.obs.watchdog import GuaranteeWatchdog, plan_label
+
+FREE_CONNEX = "Q(x) :- R(x, z), S(z, y)"          # constant-delay plan
+ACYCLIC_ONLY = "Q(x, y) :- R(x, z), S(z, y)"      # linear-delay plan
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    clear_plan_cache()
+    registry().reset()
+    event_log().clear()
+    prev = set_enabled(True)
+    wdmod.uninstall()
+    yield
+    wdmod.uninstall()
+    wdmod.watchdog().reset()
+    set_enabled(prev)
+    registry().reset()
+    event_log().clear()
+    clear_plan_cache()
+    obs.disable()
+
+
+def _small_wd(**kw):
+    knobs = dict(factor=4.0, baseline_samples=64, window_samples=64,
+                 min_budget_ns=10)
+    knobs.update(kw)
+    return GuaranteeWatchdog(**knobs)
+
+
+def _feed(wd, label, gaps, expectation):
+    for gap in gaps:
+        wd.observe(label, gap, 1, expectation)
+
+
+# ------------------------------------------------------------ expectations
+
+
+def test_classifier_derived_expectations():
+    wd = _small_wd()
+    assert wd.expectation_for(parse_cq(FREE_CONNEX)) == "constant-delay"
+    assert wd.expectation_for(parse_cq(ACYCLIC_ONLY)) == "linear"
+
+
+# ----------------------------------------------------------------- firing
+
+
+def test_fires_on_superlinear_drift_of_constant_delay_plan():
+    wd = _small_wd()
+    # compliant baseline: ~100ns per answer
+    _feed(wd, "plan", [100] * 64, "constant-delay")
+    assert wd.stats()["plan"]["budget_ns"] is not None
+    # the enumerator leaves its guarantee: delay grows with every answer
+    _feed(wd, "plan", [100 * i * i for i in range(1, 65)], "constant-delay")
+    stats = wd.stats()["plan"]
+    assert stats["violations"] >= 1
+    events = event_log().recent(name="guarantee.violation")
+    assert events and events[-1]["plan"] == "plan"
+    assert events[-1]["expected"] == "constant-delay"
+    assert events[-1]["p99_ns"] > events[-1]["budget_ns"]
+    assert registry().counter("watchdog.violations") >= 1
+
+
+def test_silent_on_compliant_constant_delay_plan():
+    wd = _small_wd()
+    # steady delay with honest jitter stays inside factor x baseline p99
+    _feed(wd, "plan", [100 + (i % 7) for i in range(64 * 5)],
+          "constant-delay")
+    wd.flush()
+    assert wd.stats()["plan"]["violations"] == 0
+    assert not event_log().recent(name="guarantee.violation")
+
+
+def test_silent_on_linear_plan_even_when_delay_grows():
+    wd = _small_wd()
+    _feed(wd, "lin", [100] * 64, "linear")
+    _feed(wd, "lin", [100 * i * i for i in range(1, 65)], "linear")
+    wd.flush()
+    assert wd.stats()["lin"]["violations"] == 0
+    assert not event_log().recent(name="guarantee.violation")
+
+
+def test_per_plan_sketch_lands_in_registry():
+    wd = _small_wd()
+    _feed(wd, "p1", [100] * 10, "constant-delay")
+    sk = registry().sketch("delay.plan.p1")
+    assert sk is not None and sk.count == 10
+
+
+def test_plan_overflow_falls_back_to_other_label():
+    wd = _small_wd(max_plans=1)
+    _feed(wd, "first", [100] * 4, None)
+    _feed(wd, "second", [100] * 4, None)
+    assert set(wd.stats()) == {"first", "_other"}
+    assert registry().sketch("delay.plan._other").count == 4
+
+
+# ------------------------------------------------------------ attribution
+
+
+def test_watched_attributes_only_inner_observations():
+    wd = _small_wd().install()
+    try:
+        def stream(n):
+            for i in range(n):
+                yield i
+
+        for _ in wd.watched(stream(5), "mine", "constant-delay"):
+            # delay recorded while "mine" is suspended (consumer side)
+            # must not be attributed to it
+            registry().record_delay(1_000, 1)
+        assert "mine" not in wd.stats()
+
+        def recording(n):
+            for i in range(n):
+                registry().record_delay(2_000, 1)
+                yield i
+
+        for _ in wd.watched(recording(5), "mine", "constant-delay"):
+            pass
+        assert wd.stats()["mine"]["answers"] == 5
+    finally:
+        wd.uninstall()
+
+
+def test_watch_stream_records_per_answer_gaps():
+    wd = _small_wd()
+    list(wd.watch_stream(iter(range(50)), "stream", "constant-delay"))
+    assert wd.stats()["stream"]["answers"] == 50
+
+
+# ------------------------------------------------------------ integration
+
+
+def test_planner_integration_compliant_plan_stays_silent():
+    wd = wdmod.install(factor=8.0, baseline_samples=64, window_samples=64)
+    q = parse_query(FREE_CONNEX)
+    db = random_database({"R": 2, "S": 2}, domain_size=50,
+                         tuples_per_relation=400, seed=2)
+    answers = sum(1 for _ in enumerate_answers(q, db))
+    assert answers > 0
+    label = plan_label(q)
+    assert label in wd.stats()
+    assert wd.stats()[label]["expectation"] == "constant-delay"
+    assert registry().sketch("delay.plan." + label) is not None
+    assert not event_log().recent(name="guarantee.violation")
+
+
+def test_planner_integration_forced_superlinear_path_fires():
+    """The acceptance scenario: a free-connex (constant-delay) plan
+    whose answer stream degrades superlinearly must trip the watchdog."""
+    wd = wdmod.install(factor=4.0, baseline_samples=64, window_samples=64,
+                       min_budget_ns=10)
+    q = parse_query(FREE_CONNEX)
+    label = plan_label(q)
+    expectation = wd.expectation_for(q)
+    assert expectation == "constant-delay"
+
+    def degrading():
+        # a stand-in for the plan's answer stream after it lost its
+        # guarantee: per-answer work grows quadratically
+        for i in range(64 * 3):
+            registry().record_delay(100 * (1 + i * i), 1)
+            yield (i,)
+
+    for _ in wd.watched(degrading(), label, expectation):
+        pass
+    assert wd.stats()[label]["violations"] >= 1
+    events = event_log().recent(name="guarantee.violation")
+    assert events and events[-1]["plan"] == label
+
+
+def test_maybe_watch_passthrough_when_not_installed():
+    inner = iter([1, 2, 3])
+    assert wdmod.maybe_watch(parse_query(FREE_CONNEX), inner) is inner
+
+
+# ---------------------------------------------------------------- tail
+
+
+def test_tail_capture_retains_only_breaching_requests():
+    wd = _small_wd()
+    wd.tail_tracing = True
+    with wd.tail_capture("ok"):
+        _feed(wd, "ok", [100] * (64 * 2), "constant-delay")
+        wd.flush()
+    assert len(wd.tail) == 0
+    assert registry().counter("watchdog.tail_discarded") == 1
+    with wd.tail_capture("bad"):
+        _feed(wd, "bad", [100] * 64, "constant-delay")
+        _feed(wd, "bad", [10**6] * 64, "constant-delay")
+    assert len(wd.tail) == 1
+    assert wd.tail[0]["label"] == "bad"
+    assert registry().counter("watchdog.tail_retained") == 1
+
+
+def test_tail_capture_noop_when_disabled():
+    wd = _small_wd()
+    with wd.tail_capture("x") as tr:
+        assert tr is None
