@@ -23,6 +23,14 @@ Commands
 
         python -m repro explain "Q(x) :- R(x, z), S(z, y)"
 
+``analyze``
+    Estimated vs actual: run one query under full instrumentation
+    (twice, at n and 2n, when the data is synthetic) and print
+    per-operator rows comparing measured cardinalities and timings
+    against the classifier's predicted class::
+
+        python -m repro analyze "Q(x) :- R(x, z), S(z, y)" [--html FILE]
+
 ``figures``
     Regenerate the paper's three figures as text.
 
@@ -309,6 +317,37 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
         print(json.dumps(obs.metrics(tr), indent=2, sort_keys=True),
               file=sys.stderr)
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Run one query fully instrumented and print the per-operator
+    estimated-vs-actual table; ``--html`` renders the panel."""
+    from repro.logic.parser import parse_query
+    from repro.obs.analyze import analyze, render_text
+
+    _select_engine(args)
+    query = parse_query(args.query)
+    db = load_csv_database(args.data) if args.data else None
+    analysis = analyze(query, db, size=args.size, seed=args.seed,
+                       scale=args.scale)
+    print(render_text(analysis))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(analysis, fh, indent=2, default=str)
+            fh.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.html:
+        from repro.obs.report import write_analyze_html
+
+        write_analyze_html(args.html, analysis)
+        print(f"wrote {args.html}", file=sys.stderr)
+    if args.strict and analysis["flagged"]:
+        print(f"analyze: {len(analysis['flagged'])} operator(s) contradict "
+              f"the predicted class — failing (--strict)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -892,18 +931,27 @@ def _top_snapshot(url: Optional[str]) -> dict:
 
         with urllib.request.urlopen(url, timeout=5) as resp:
             parsed = parse_openmetrics(resp.read().decode())
+        for s in parsed["summaries"].values():
+            exs = s.get("exemplars") or {}
+            ex = exs.get(0.99) or exs.get("0.99")
+            s["exemplar"] = (ex or {}).get("labels", {}).get("trace_id")
         return {"counters": parsed["counters"], "gauges": parsed["gauges"],
                 "summaries": parsed["summaries"], "events": []}
     from repro import obs
     from repro.obs.expose import event_log
 
-    snap = obs.registry().snapshot()
-    summaries = {
-        name: {"quantiles": {0.5: s["p50"], 0.95: s["p95"],
-                             0.99: s["p99"], 0.999: s["p999"]},
-               "count": s["count"], "sum": s["sum"]}
-        for name, s in snap["sketches"].items()
-    }
+    reg = obs.registry()
+    snap = reg.snapshot()
+    sketches = reg.sketches()
+    summaries = {}
+    for name, s in snap["sketches"].items():
+        ex = sketches[name].exemplar(0.99) if name in sketches else None
+        summaries[name] = {
+            "quantiles": {0.5: s["p50"], 0.95: s["p95"],
+                          0.99: s["p99"], 0.999: s["p999"]},
+            "count": s["count"], "sum": s["sum"],
+            "exemplar": ex[1] if ex is not None else None,
+        }
     return {"counters": snap["counters"], "gauges": snap["gauges"],
             "summaries": summaries,
             "events": event_log().recent(limit=5)}
@@ -935,13 +983,15 @@ def _render_top(data: dict, prev_counters: dict,
     phases = {n: s for n, s in data["summaries"].items() if n not in delays}
     if delays:
         print(f"\n{'delay sketch':<44} {'count':>10} {'p50':>9} "
-              f"{'p95':>9} {'p99':>9} {'p99.9':>9}")
+              f"{'p95':>9} {'p99':>9} {'p99.9':>9}  {'p99 exemplar'}")
         for name in sorted(delays):
             s = delays[name]
             q = s["quantiles"]
             print(f"{name[:44]:<44} {int(s.get('count', 0)):>10} "
                   f"{_fmt_ns(q.get(0.5, 0)):>9} {_fmt_ns(q.get(0.95, 0)):>9} "
-                  f"{_fmt_ns(q.get(0.99, 0)):>9} {_fmt_ns(q.get(0.999, 0)):>9}")
+                  f"{_fmt_ns(q.get(0.99, 0)):>9} "
+                  f"{_fmt_ns(q.get(0.999, 0)):>9}  "
+                  f"{s.get('exemplar') or '—'}")
     if phases:
         print(f"\n{'phase sketch':<44} {'count':>10} {'p50':>9} "
               f"{'p99':>9} {'total':>9}")
@@ -956,11 +1006,16 @@ def _render_top(data: dict, prev_counters: dict,
         hottest = sorted(data["counters"].items(),
                          key=lambda kv: -kv[1])[:12]
         for name, value in hottest:
-            if dt and dt > 0:
-                rate = (value - prev_counters.get(name, 0)) / dt
+            # no rate on the first frame, and none on sub-millisecond
+            # intervals (dividing by ~0 turns one scrape's worth of
+            # counts into a nonsense rate); a registry reset between
+            # frames makes the delta negative — clamp to 0, not print
+            # a negative rate
+            if dt is not None and dt > 1e-3:
+                rate = max(0.0, (value - prev_counters.get(name, 0)) / dt)
                 rate_s = f"{rate:,.1f}"
             else:
-                rate_s = "-"
+                rate_s = "—"
             print(f"{name[:44]:<44} {int(value):>12,} {rate_s:>10}")
     if data["events"]:
         print("\nrecent events:")
@@ -1034,6 +1089,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pipeline_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser("analyze",
+                       help="estimated vs actual: run one query "
+                            "instrumented and compare per-operator "
+                            "cardinalities and timings against the "
+                            "classifier's predicted class")
+    p.add_argument("query")
+    p.add_argument("--data", default=None,
+                   help="directory of <Rel>.csv files (default: synthetic "
+                        "random data, run at two sizes so the scaling "
+                        "checks have two points)")
+    p.add_argument("--size", type=int, default=4000,
+                   help="tuples per relation for synthetic data (the "
+                        "second run uses 2x this)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="random seed for synthetic data")
+    p.add_argument("--scale", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="force/suppress the second 2x-size run (default: "
+                        "on for synthetic data, off with --data)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the analysis dict as JSON")
+    p.add_argument("--html", default=None, metavar="FILE",
+                   help="also render the estimated-vs-actual panel as a "
+                        "self-contained HTML file")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero when any operator's actuals "
+                        "contradict the predicted class")
+    _add_pipeline_flags(p)
+    p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("doctor",
                        help="minimise + classify + suggest fixes; also "

@@ -292,6 +292,11 @@ class BlockIterator:
             obs.count("enum.rows_probed", nrows)
             out, total = self._expand_raw(level, batch, nrows)
             sp.set("rows_out", total)
+            if total == 0:
+                # a dead end: on fully reduced inputs every expansion
+                # must make progress (Theorem 4.6's no-dead-end
+                # invariant) — `repro analyze` flags any occurrence
+                obs.count("enum.dead_ends")
             return out, total
 
     def _expand_raw(self, level: int, batch: Dict[Variable, np.ndarray],

@@ -361,6 +361,9 @@ def _serialise_span(span) -> Dict[str, Any]:
         "end_ns": span.end_ns,
         "tid": span.tid,
         "attrs": dict(span.attrs),
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
         "children": [_serialise_span(c) for c in span.children],
     }
 
@@ -372,8 +375,35 @@ def _revive_span(data: Dict[str, Any], pid: int):
     span.end_ns = data["end_ns"] if data["end_ns"] is not None \
         else data["start_ns"]
     span.attrs.update(data["attrs"])
+    span.trace_id = data.get("trace_id")
+    span.span_id = data.get("span_id")
+    span.parent_id = data.get("parent_id")
     span.children = [_revive_span(c, pid) for c in data["children"]]
     return span
+
+
+def _propagation_ctx() -> Optional[Dict[str, Any]]:
+    """The driver's current trace context in wire form, for payloads.
+
+    Called *inside* the dispatch span (``parallel.full_reduce`` /
+    ``parallel.count`` / ``parallel.enumerate``), so the context's
+    ``span_id`` names that span and adopted worker subtrees graft under
+    it.  ``None`` when tracing is off or unsampled — workers then run
+    exactly the pre-propagation path."""
+    ctx = obs.propagation_context()
+    return ctx.to_dict() if ctx is not None else None
+
+
+def _worker_tracer(ctx_data: Optional[Dict[str, Any]]):
+    """A worker-side tracer adopting the driver's propagated trace
+    context.  Worker span ids are pid-prefixed, so they cannot collide
+    with driver ids, and the worker root span's parent_id points at the
+    driver span that dispatched the wave — :meth:`Tracer.adopt` uses it
+    to graft the worker subtree into the request tree."""
+    from repro.obs.trace import TraceContext, Tracer
+
+    ctx = TraceContext.from_dict(ctx_data) if ctx_data else None
+    return Tracer(context=ctx)
 
 
 def _task_meta(tracer=None) -> Optional[Dict[str, Any]]:
@@ -593,7 +623,10 @@ def _worker_main(worker_index: int, tasks, results) -> None:
                 # one queue message, several tasks: run them sequentially
                 # and ship one result list back (one round-trip per wave)
                 if any(p.get("trace") for _k, p in payload):
-                    with obs.capture() as tracer:
+                    ctx_data = next(
+                        (p.get("trace_ctx") for _k, p in payload
+                         if p.get("trace_ctx")), None)
+                    with obs.capture(_worker_tracer(ctx_data)) as tracer:
                         with obs.span("parallel.worker", worker=worker_index,
                                       task="batch", items=len(payload)):
                             outs = [_HANDLERS[k](p, results, tid)
@@ -606,7 +639,8 @@ def _worker_main(worker_index: int, tasks, results) -> None:
                 continue
             handler = _HANDLERS[kind]
             if payload.get("trace"):
-                with obs.capture() as tracer:
+                with obs.capture(
+                        _worker_tracer(payload.get("trace_ctx"))) as tracer:
                     with obs.span("parallel.worker", worker=worker_index,
                                   task=kind):
                         out = handler(payload, results, tid)
@@ -842,6 +876,7 @@ def parallel_full_reduce(tree, relations: Sequence[Any], *,
 
     with obs.span("parallel.full_reduce", nodes=len(relations),
                   workers=num_shards, steps=len(steps)):
+        trace_ctx = _propagation_ctx()
         entry, col_index = _acquire_column_arena(relations)
         arena = entry.arena
         mask_arena = ShmArena.publish(
@@ -923,6 +958,7 @@ def parallel_full_reduce(tree, relations: Sequence[Any], *,
                     "phase": phase,
                     "node": left,
                     "trace": trace,
+                    "trace_ctx": trace_ctx,
                 } for shard in range(num_shards)]))
                 writers.add(left)
                 readers.add(right)
@@ -956,6 +992,7 @@ def parallel_count(relations: Sequence[Any], tree,
     trace = obs.enabled()
     with obs.span("parallel.count", nodes=len(relations),
                   workers=num_shards):
+        trace_ctx = _propagation_ctx()
         entry, col_index = _acquire_column_arena(relations)
         arena = entry.arena
         try:
@@ -1014,6 +1051,7 @@ def parallel_count(relations: Sequence[Any], tree,
                             "shards": num_shards,
                             "node": node,
                             "trace": trace,
+                            "trace_ctx": trace_ctx,
                             **spec,
                         }))
                     pending.append((node, len(share_pos), len(specs)))
@@ -1169,6 +1207,7 @@ class ParallelBlockIterator:
         with obs.span("parallel.enumerate", chunks=nchunks,
                       workers=self._engine.workers,
                       block_size=self.block_size):
+            trace_ctx = _propagation_ctx()
             expected: Dict[int, int] = {}
             for chunk in range(nchunks):
                 tid = pool.post("enum_chunk", {
@@ -1178,6 +1217,7 @@ class ParallelBlockIterator:
                     "start": bounds[chunk],
                     "stop": bounds[chunk + 1],
                     "trace": trace,
+                    "trace_ctx": trace_ctx,
                 })
                 expected[tid] = chunk
             yield from self._merge_stream(pool, expected, nchunks)

@@ -48,8 +48,10 @@ def materialise_atoms(cq: ConjunctiveQuery, db: Database,
     in the selected backend's representation."""
     eng = _engine(engine)
     with obs.span("yannakakis.materialise_atoms", atoms=len(cq.atoms),
-                  engine=eng.name):
-        return [eng.materialise_atom(db, atom) for atom in cq.atoms]
+                  engine=eng.name) as sp:
+        out = [eng.materialise_atom(db, atom) for atom in cq.atoms]
+        sp.set("rows", sum(len(r) for r in out))
+        return out
 
 
 def _traced_semijoin(left: VarRelation, right: VarRelation, phase: str,
@@ -133,7 +135,8 @@ def _full_reduce(cq: ConjunctiveQuery, db: Database, tree: JoinTree,
     parallel = getattr(eng, "parallel_reduce", None)
     if parallel is not None and eng.should_parallelise(relations):
         return tree, parallel(tree, relations)
-    with obs.span("yannakakis.full_reduce", nodes=len(relations)):
+    with obs.span("yannakakis.full_reduce", nodes=len(relations)) as sp:
+        sp.set("rows_in", sum(len(r) for r in relations))
         # bottom-up: parent := parent semijoin child
         for node in tree.bottom_up():
             parent = tree.parent[node]
@@ -145,6 +148,7 @@ def _full_reduce(cq: ConjunctiveQuery, db: Database, tree: JoinTree,
             for child in tree.children[node]:
                 relations[child] = _traced_semijoin(
                     relations[child], relations[node], "top_down", child)
+        sp.set("rows_out", sum(len(r) for r in relations))
     return tree, relations
 
 
@@ -190,7 +194,8 @@ def yannakakis(cq: ConjunctiveQuery, db: Database,
             above[node] = above[parent] | tree.hypergraph.edges[parent]
 
     joined: Dict[int, VarRelation] = {}
-    with obs.span("yannakakis.join_project", nodes=len(order)):
+    with obs.span("yannakakis.join_project", nodes=len(order)) as sp:
+        sp.set("rows_in", sum(len(r) for r in relations))
         for node in tree.bottom_up():
             acc = relations[node]
             for child in tree.children[node]:
@@ -200,6 +205,7 @@ def yannakakis(cq: ConjunctiveQuery, db: Database,
                 if v in free or v in above[node]
             ]
             joined[node] = acc.project(keep)
+        sp.set("rows_out", len(joined[tree.root]))
 
     result = joined[tree.root]
     # normalise column order to the head with one projection (head

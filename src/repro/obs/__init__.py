@@ -60,9 +60,16 @@ from repro.obs.registry import (
 from repro.obs.trace import (
     NULL_SPAN,
     NULL_TRACER,
+    SAMPLE_ENV_VAR,
     NullTracer,
     Span,
+    TraceContext,
     Tracer,
+    activate_context,
+    current_context,
+    current_trace_id,
+    sample_rate,
+    scoped_context,
 )
 
 ENV_VAR = "REPRO_TRACE"
@@ -131,10 +138,20 @@ def event(name: str, **fields: Any) -> Dict[str, Any]:
     return emit_event(name, **fields)
 
 
+def propagation_context() -> Optional[TraceContext]:
+    """The active tracer's :class:`TraceContext` positioned at the
+    calling thread's current span — what the parallel layer ships in
+    wave payloads so worker spans join the request tree.  ``None`` when
+    tracing is off or the tracer carries no request identity."""
+    return _TRACER.propagation_context()
+
+
 def enable(t: Optional[Tracer] = None) -> Tracer:
-    """Install ``t`` (or a fresh :class:`Tracer`) as the active tracer."""
+    """Install ``t`` (or a fresh :class:`Tracer`) as the active tracer
+    and activate its trace context on the calling thread."""
     global _TRACER
     _TRACER = t if t is not None else Tracer()
+    activate_context(_TRACER.context)
     return _TRACER
 
 
@@ -143,6 +160,7 @@ def disable() -> Union[Tracer, NullTracer]:
     global _TRACER
     previous = _TRACER
     _TRACER = NULL_TRACER
+    activate_context(None)
     return previous
 
 
@@ -157,10 +175,12 @@ def capture(t: Optional[Tracer] = None) -> Iterator[Tracer]:
     global _TRACER
     previous = _TRACER
     _TRACER = t if t is not None else Tracer()
+    prev_ctx = activate_context(_TRACER.context)
     try:
         yield _TRACER
     finally:
         _TRACER = previous
+        activate_context(prev_ctx)
 
 
 def metrics(t: Optional[Union[Tracer, NullTracer]] = None) -> Dict[str, Any]:
@@ -205,24 +225,34 @@ def _init_from_environment() -> None:
     if wd and wd.lower() not in ("0", "false", "off", "no"):
         from repro.obs.watchdog import install as _install_watchdog
 
-        _install_watchdog()
+        watchdog = _install_watchdog()
+        if wd.lower() not in ("1", "true", "yes", "on"):
+            # a path value also turns on tail-based trace retention,
+            # writing breaching requests' traces under that directory
+            watchdog.tail_tracing = True
+            watchdog.tail_dir = wd
 
 
 _init_from_environment()
 
 __all__ = [
     "ENV_VAR",
+    "SAMPLE_ENV_VAR",
     "WATCHDOG_ENV_VAR",
     "NULL_SPAN",
     "NULL_TRACER",
     "MetricsRegistry",
     "NullTracer",
     "Span",
+    "TraceContext",
     "Tracer",
+    "activate_context",
     "capture",
     "chrome_trace",
     "chrome_trace_events",
     "count",
+    "current_context",
+    "current_trace_id",
     "delay",
     "disable",
     "enable",
@@ -231,8 +261,11 @@ __all__ = [
     "gauge",
     "metrics",
     "metrics_dump",
+    "propagation_context",
     "registry",
     "render_explain",
+    "sample_rate",
+    "scoped_context",
     "span",
     "tracer",
     "write_chrome_trace",

@@ -39,18 +39,29 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
     Spans adopted from pool workers carry their own ``pid``
     (:meth:`repro.obs.trace.Tracer.adopt`), so the export lays the
     fan-out on separate process tracks; ``process_name`` metadata
-    events label the driver vs the workers."""
+    events label the driver vs the workers.  Events are emitted in
+    ``start_ns`` order — adopted worker spans arrive after the driver's
+    own, so begin order alone would break the monotonic-``ts`` property
+    trace viewers (and the trace lint) expect.  Sampled spans carry
+    their ``trace_id``/``span_id``/``parent_id`` in ``args``, so one
+    request's events are joinable across process tracks."""
     epoch = tracer.epoch_ns
     pid = os.getpid()
     events: List[Dict[str, Any]] = []
     last_end = epoch
     worker_pids = set()
-    for span in tracer.spans:
+    for span in sorted(tracer.spans, key=lambda s: s.start_ns):
         end_ns = span.end_ns if span.end_ns is not None else span.start_ns
         last_end = max(last_end, end_ns)
         span_pid = span.pid if span.pid is not None else pid
         if span_pid != pid:
             worker_pids.add(span_pid)
+        args = {k: _jsonable(v) for k, v in span.attrs.items()}
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
         events.append({
             "name": span.name,
             "ph": "X",
@@ -59,7 +70,7 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
             "dur": (end_ns - span.start_ns) / 1e3,
             "pid": span_pid,
             "tid": span.tid,
-            "args": {k: _jsonable(v) for k, v in span.attrs.items()},
+            "args": args,
         })
     if worker_pids:
         events.append({"name": "process_name", "ph": "M", "pid": pid,
@@ -83,13 +94,17 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
 
 def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
     """The full trace document (object form, with metadata)."""
+    other: Dict[str, Any] = {
+        "tool": "repro.obs",
+        "gauges": {k: _jsonable(v) for k, v in tracer.gauges.items()},
+    }
+    context = getattr(tracer, "context", None)
+    if context is not None and context.sampled:
+        other["trace_id"] = context.trace_id
     return {
         "traceEvents": chrome_trace_events(tracer),
         "displayTimeUnit": "ms",
-        "otherData": {
-            "tool": "repro.obs",
-            "gauges": {k: _jsonable(v) for k, v in tracer.gauges.items()},
-        },
+        "otherData": other,
     }
 
 

@@ -43,6 +43,40 @@ QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99, 0.999)
 _NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
 
+#: label-value escaping table from the OpenMetrics text-format spec
+#: (ABNF ``escaped-char``): inside double-quoted label values exactly
+#: three characters are escaped, each to a two-character sequence.
+_LABEL_ESCAPES: Dict[str, str] = {
+    "\\": "\\\\",  # backslash      -> '\\'
+    '"': '\\"',    # double quote   -> '\"'
+    "\n": "\\n",   # line feed      -> '\n'
+}
+_LABEL_UNESCAPES = {v[1]: k for k, v in _LABEL_ESCAPES.items()}
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value for exposition (backslash first, so the
+    escape characters themselves never double-escape)."""
+    value = value.replace("\\", "\\\\")
+    value = value.replace('"', '\\"')
+    return value.replace("\n", "\\n")
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value`; unknown escape sequences pass
+    through with the backslash dropped, per the spec's parser guidance."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            out.append(_LABEL_UNESCAPES.get(value[i + 1], value[i + 1]))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
 
 def metric_name(raw: str) -> str:
     """Registry name → exposition name: ``plancache.hits`` →
@@ -75,8 +109,8 @@ def openmetrics_text(extra_info: Optional[Dict[str, str]] = None) -> str:
 
     if extra_info:
         labels = ",".join(
-            f'{_SANITIZE.sub("_", k)}="{v}"' for k, v in
-            sorted(extra_info.items()))
+            f'{_SANITIZE.sub("_", k)}="{escape_label_value(str(v))}"'
+            for k, v in sorted(extra_info.items()))
         out.write("# TYPE repro_build_info gauge\n")
         out.write(f"repro_build_info{{{labels}}} 1\n")
 
@@ -110,7 +144,18 @@ def openmetrics_text(extra_info: Optional[Dict[str, str]] = None) -> str:
         name = metric_name(raw)
         out.write(f"# TYPE {name} summary\n")
         for q in QUANTILES:
-            out.write(f'{name}{{quantile="{q}"}} {sketch.quantile(q)!r}\n')
+            line = f'{name}{{quantile="{q}"}} {sketch.quantile(q)!r}'
+            if q >= 0.99:
+                # OpenMetrics exemplar syntax: the tail quantiles carry
+                # the trace_id of the most recent traced observation in
+                # their bucket, so a p99 outlier links to its request
+                ex = sketch.exemplar(q)
+                if ex is not None:
+                    ts, trace_id, value = ex
+                    line += (f' # {{trace_id='
+                             f'"{escape_label_value(trace_id)}"}}'
+                             f' {value} {ts!r}')
+            out.write(line + "\n")
         out.write(f"{name}_count {sketch.count}\n")
         out.write(f"{name}_sum {sketch.total}\n")
 
@@ -119,8 +164,17 @@ def openmetrics_text(extra_info: Optional[Dict[str, str]] = None) -> str:
 
 
 _SAMPLE = re.compile(
-    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$')
-_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'            # metric name
+    r'(\{.*?\})?\s+(\S+)'                     # optional labels, value
+    r'(?:\s+#\s+(\{.*?\})\s+(\S+)(?:\s+(\S+))?)?$')  # optional exemplar
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_labels(labelstr: Optional[str]) -> Dict[str, str]:
+    if not labelstr:
+        return {}
+    return {k: unescape_label_value(v)
+            for k, v in _LABEL.findall(labelstr)}
 
 
 def parse_openmetrics(text: str) -> Dict[str, Any]:
@@ -128,14 +182,18 @@ def parse_openmetrics(text: str) -> Dict[str, Any]:
 
     The inverse of :func:`openmetrics_text` for the subset this module
     emits — used by ``repro top --url`` to render a remote endpoint and
-    by the exposition lint test.  Returns ``{"types": {name: type},
-    "counters": {base: value}, "gauges": {name: value}, "summaries":
-    {base: {"quantiles": {q: v}, "count": n, "sum": s}}, "eof": bool}``.
+    by the exposition lint test.  Label values are unescaped per the
+    spec table, so the round-trip preserves ``\\n``, ``"`` and ``\\``.
+    Returns ``{"types": {name: type}, "counters": {base: value},
+    "gauges": {name: value}, "summaries": {base: {"quantiles": {q: v},
+    "count": n, "sum": s, "exemplars": {q: {...}}}},
+    "build_info": {label: value}, "eof": bool}``.
     """
     types: Dict[str, str] = {}
     counters: Dict[str, float] = {}
     gauges: Dict[str, float] = {}
     summaries: Dict[str, Dict[str, Any]] = {}
+    build_info: Dict[str, str] = {}
     saw_eof = False
     for line in text.splitlines():
         line = line.strip()
@@ -152,22 +210,33 @@ def parse_openmetrics(text: str) -> Dict[str, Any]:
         m = _SAMPLE.match(line)
         if not m:
             raise ValueError(f"unparseable sample line: {line!r}")
-        name, labelstr, rawval = m.groups()
+        name, labelstr, rawval, exlabels, exval, exts = m.groups()
         value = float(rawval)
-        labels = dict(_LABEL.findall(labelstr)) if labelstr else {}
-        if name.endswith("_total") and types.get(name[:-6]) == "counter":
+        labels = _parse_labels(labelstr)
+        exemplar = None
+        if exlabels is not None:
+            exemplar = {"labels": _parse_labels(exlabels),
+                        "value": float(exval),
+                        "ts": float(exts) if exts is not None else None}
+        if name == "repro_build_info":
+            build_info = labels
+        elif name.endswith("_total") and types.get(name[:-6]) == "counter":
             counters[name[:-6]] = value
         elif name.endswith("_count") and types.get(name[:-6]) == "summary":
             summaries.setdefault(name[:-6], {"quantiles": {}})["count"] = value
         elif name.endswith("_sum") and types.get(name[:-4]) == "summary":
             summaries.setdefault(name[:-4], {"quantiles": {}})["sum"] = value
         elif "quantile" in labels and types.get(name) == "summary":
-            summaries.setdefault(name, {"quantiles": {}})["quantiles"][
-                float(labels["quantile"])] = value
+            entry = summaries.setdefault(name, {"quantiles": {}})
+            q = float(labels["quantile"])
+            entry["quantiles"][q] = value
+            if exemplar is not None:
+                entry.setdefault("exemplars", {})[q] = exemplar
         else:
             gauges[name] = value
     return {"types": types, "counters": counters, "gauges": gauges,
-            "summaries": summaries, "eof": saw_eof}
+            "summaries": summaries, "build_info": build_info,
+            "eof": saw_eof}
 
 
 # ---------------------------------------------------------------- HTTP

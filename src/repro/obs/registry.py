@@ -36,6 +36,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .sketch import QuantileSketch
+from .trace import current_trace_id
 
 _FALSY = {"0", "off", "false", "no"}
 
@@ -100,15 +101,19 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[name] = value
 
-    def observe(self, name: str, value: int, weight: int = 1) -> None:
-        """Add an observation to the named sketch (created on first use)."""
+    def observe(self, name: str, value: int, weight: int = 1,
+                trace_id: Optional[str] = None) -> None:
+        """Add an observation to the named sketch (created on first use).
+
+        With a ``trace_id`` the observation doubles as the sketch
+        bucket's exemplar (see :mod:`repro.obs.sketch`)."""
         if not self.enabled:
             return
         with self._lock:
             sketch = self._sketches.get(name)
             if sketch is None:
                 sketch = self._sketches[name] = QuantileSketch()
-            sketch.add(value, weight)
+            sketch.add(value, weight, trace_id=trace_id)
 
     def record_delay(self, gap_ns: int, answers: int = 1,
                      name: str = "enum.delay_ns") -> None:
@@ -117,16 +122,19 @@ class MetricsRegistry:
         Block-batched producers call this once per block: the sketch
         gets the amortised per-answer delay with weight=answers, so
         quantiles are still per-answer while the hot loop pays one
-        clock read per block.  Installed delay listeners (the
-        guarantee watchdog) see the raw (gap, answers) pair."""
+        clock read per block.  When the calling thread carries a
+        sampled trace context, its trace_id rides along as the bucket
+        exemplar — the tail-to-trace link.  Installed delay listeners
+        (the guarantee watchdog) see the raw (gap, answers) pair."""
         if not self.enabled or answers <= 0:
             return
         per_answer = gap_ns // answers
+        trace_id = current_trace_id()
         with self._lock:
             sketch = self._sketches.get(name)
             if sketch is None:
                 sketch = self._sketches[name] = QuantileSketch()
-            sketch.add(per_answer, answers)
+            sketch.add(per_answer, answers, trace_id=trace_id)
         for listener in self._delay_listeners:
             listener(gap_ns, answers)
 

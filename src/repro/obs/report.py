@@ -406,6 +406,81 @@ The shaded band is the regression gate: rolling median of the last
 """
 
 
+_ANALYZE_STATUS_CLS = {"ok": "badge-ok", "FLAG": "badge-mismatch",
+                       "info": "badge-inconclusive"}
+
+
+def render_analyze_html(analysis: Dict[str, Any],
+                        title: str = "repro analyze") -> str:
+    """The ``repro analyze --html`` panel: one card of estimated-vs-
+    actual operator rows (the data dict from
+    :func:`repro.obs.analyze.analyze`), sharing the dashboard's CSS so
+    the two reports sit side by side visually."""
+    facts = "".join(f", {k}={v}" for k, v in analysis["facts"].items())
+    meta_rows = [
+        ("query", analysis["query"]),
+        ("class", f"{analysis['query_class']}{facts}"),
+        ("sizes", " → ".join(str(s) for s in analysis["sizes"])),
+        ("answers", " → ".join(str(a) for a in analysis["answers"])),
+    ]
+    if analysis["trace_ids"]:
+        meta_rows.append(("traces", ", ".join(analysis["trace_ids"])))
+    meta = "".join(f"<tr><th>{_esc(k)}</th>"
+                   f"<td style='text-align:left'>{_esc(v)}</td></tr>"
+                   for k, v in meta_rows)
+    rows = []
+    for r in analysis["rows"]:
+        cls = _ANALYZE_STATUS_CLS.get(r["status"], "badge-inconclusive")
+        rows.append(
+            f"<tr><td>{_esc(r['operator'])}</td>"
+            f"<td style='text-align:left'>{_esc(r['expected'])}</td>"
+            f"<td style='text-align:left'>{_esc(r['actual'])}</td>"
+            f"<td><span class='badge {cls}'>{_esc(r['status'])}</span></td>"
+            f"<td style='text-align:left'>{_esc(r['note'])}</td></tr>")
+    flagged = analysis["flagged"]
+    if flagged:
+        summary = (f'<span class="badge badge-mismatch">✗ '
+                   f'{len(flagged)} operator(s) contradict the predicted '
+                   f'class: {_esc(", ".join(flagged))}</span>')
+    else:
+        summary = ('<span class="badge badge-ok">✓ all operators within '
+                   'their predicted class</span>')
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_esc(title)}</title>
+<style>{_CSS}</style>
+</head>
+<body class="obs-root">
+<h1>{_esc(title)}</h1>
+<p class="sub">estimated vs actual, per operator — expectations from the
+classifier (Theorems 4.2/4.6), actuals from span attributes and the
+per-answer delay sketch</p>
+<div class="card">
+  <table>{meta}</table>
+</div>
+<div class="card">
+  <div class="card-head">{summary}</div>
+  <table>
+    <thead><tr><th>operator</th><th>expected</th><th>actual</th>
+    <th>status</th><th>note</th></tr></thead>
+    <tbody>{''.join(rows)}</tbody>
+  </table>
+</div>
+</body>
+</html>
+"""
+
+
+def write_analyze_html(path: str, analysis: Dict[str, Any]) -> str:
+    """Render :func:`render_analyze_html` to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(render_analyze_html(analysis))
+    return path
+
+
 def write_dashboard(path: str, history_dir: str,
                     baseline_n: int = BASELINE_N,
                     min_band: float = MIN_BAND

@@ -27,11 +27,17 @@ same result (``tests/test_obs_registry.py`` checks order independence).
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: sub-buckets per power-of-two octave (2^3 = 8): worst-case relative
 #: bucket width 1/8, so a midpoint estimate is within ~6% of the value
 SUB_BITS = 3
+
+#: exemplars are retained only on the highest-index (largest-value)
+#: buckets — the p99/p99.9 region a tail investigation starts from; a
+#: bounded set keeps the per-add cost O(1) and the transport dicts small
+EXEMPLAR_BUCKETS = 8
 
 _SUB = 1 << SUB_BITS  # 8
 
@@ -69,7 +75,7 @@ class QuantileSketch:
     quantiles are bucketed), and exact ``min``/``max``.
     """
 
-    __slots__ = ("buckets", "count", "total", "min", "max")
+    __slots__ = ("buckets", "count", "total", "min", "max", "exemplars")
 
     def __init__(self) -> None:
         self.buckets: Dict[int, int] = {}
@@ -77,9 +83,19 @@ class QuantileSketch:
         self.total = 0
         self.min: Optional[int] = None
         self.max: Optional[int] = None
+        # bucket index -> (unix ts, trace_id, value): the most recent
+        # traced observation that landed in that bucket, kept only for
+        # the EXEMPLAR_BUCKETS highest buckets (the tail)
+        self.exemplars: Dict[int, Tuple[float, str, int]] = {}
 
-    def add(self, value: Any, weight: int = 1) -> None:
-        """Record ``weight`` observations of ``value`` (clamped at 0)."""
+    def add(self, value: Any, weight: int = 1,
+            trace_id: Optional[str] = None,
+            ts: Optional[float] = None) -> None:
+        """Record ``weight`` observations of ``value`` (clamped at 0).
+
+        With a ``trace_id``, the observation also becomes the bucket's
+        exemplar (newest wins), linking a tail quantile back to the
+        request that produced it."""
         if weight <= 0:
             return
         v = int(value)
@@ -94,6 +110,41 @@ class QuantileSketch:
             self.min = v
         if self.max is None or v > self.max:
             self.max = v
+        if trace_id is not None:
+            self._note_exemplar(idx, (ts if ts is not None else time.time(),
+                                      trace_id, v))
+
+    def _note_exemplar(self, idx: int,
+                       entry: Tuple[float, str, int]) -> None:
+        """Install ``entry`` as bucket ``idx``'s exemplar if it is newer
+        than the current one (tuple order: timestamp first, so merges
+        are order-independent), then trim to the tail buckets."""
+        current = self.exemplars.get(idx)
+        if current is None or entry > current:
+            self.exemplars[idx] = entry
+            if len(self.exemplars) > EXEMPLAR_BUCKETS:
+                del self.exemplars[min(self.exemplars)]
+
+    def exemplar(self, q: float) -> Optional[Tuple[float, str, int]]:
+        """The ``(ts, trace_id, value)`` exemplar for the bucket holding
+        quantile ``q``, or the nearest retained bucket at or above it —
+        exemplars live only on the tail, so a p99 lookup resolves even
+        when the p99 bucket itself saw no traced observation."""
+        if not self.exemplars:
+            return None
+        if self.count:
+            rank = min(self.count, max(1, int(q * self.count) + 1))
+            seen = 0
+            target = max(self.buckets) if self.buckets else 0
+            for idx in sorted(self.buckets):
+                seen += self.buckets[idx]
+                if seen >= rank:
+                    target = idx
+                    break
+            above = [i for i in self.exemplars if i >= target]
+            if above:
+                return self.exemplars[min(above)]
+        return self.exemplars[max(self.exemplars)]
 
     # ------------------------------------------------------------- reading
 
@@ -155,6 +206,10 @@ class QuantileSketch:
             self.min = other.min
         if other.max is not None and (self.max is None or other.max > self.max):
             self.max = other.max
+        # exemplar merge is newest-wins per bucket (timestamp-first tuple
+        # comparison), so it is commutative like the bucket counts
+        for idx, entry in other.exemplars.items():
+            self._note_exemplar(idx, entry)
         return self
 
     def copy(self) -> "QuantileSketch":
@@ -168,19 +223,24 @@ class QuantileSketch:
         self.total = 0
         self.min = None
         self.max = None
+        self.exemplars.clear()
 
     # ----------------------------------------------------------- transport
 
     def to_dict(self) -> Dict[str, Any]:
         """Picklable/JSON-able form for cross-process transport (the
         parallel wave round-trips ship these)."""
-        return {
+        out: Dict[str, Any] = {
             "buckets": {str(k): v for k, v in self.buckets.items()},
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
         }
+        if self.exemplars:
+            out["exemplars"] = {str(k): list(v)
+                                for k, v in self.exemplars.items()}
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "QuantileSketch":
@@ -191,6 +251,9 @@ class QuantileSketch:
         sketch.total = int(data.get("total", 0))
         sketch.min = data.get("min")
         sketch.max = data.get("max")
+        sketch.exemplars = {
+            int(k): (float(v[0]), str(v[1]), int(v[2]))
+            for k, v in data.get("exemplars", {}).items()}
         return sketch
 
     @classmethod

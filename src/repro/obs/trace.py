@@ -26,9 +26,123 @@ exactly the dynamic-scope semantics the explain tree renders.
 
 from __future__ import annotations
 
+import itertools
+import os
+import random
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+#: head-sampling knob: fraction of new trace contexts that are sampled
+#: (stamped onto spans, exported as exemplars).  Applied once at context
+#: creation — a request is either fully traced or fully unsampled, so a
+#: sampled trace is never missing interior spans.
+SAMPLE_ENV_VAR = "REPRO_TRACE_SAMPLE"
+
+
+def sample_rate() -> float:
+    """The configured head-sampling rate, clamped into ``[0, 1]``.
+
+    Unset or unparsable values mean 1.0 (sample everything): tracing is
+    opt-in to begin with, so the knob only ever *reduces* volume."""
+    raw = os.environ.get(SAMPLE_ENV_VAR)
+    if not raw:
+        return 1.0
+    try:
+        rate = float(raw)
+    except ValueError:
+        return 1.0
+    return min(1.0, max(0.0, rate))
+
+
+class TraceContext:
+    """Identity of one request's trace: W3C-style ids, explicit sampling.
+
+    ``trace_id`` names the whole request tree; ``span_id`` is the id of
+    the *current* span (the propagation parent for remote children);
+    ``parent_id`` is that span's own parent, kept so a revived context
+    can be inspected.  ``sampled`` is the head-sampling decision, made
+    once in :meth:`new` and carried — never re-rolled — across every
+    propagation hop, so a request's spans are all-or-nothing."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "sampled")
+
+    def __init__(self, trace_id: str, span_id: Optional[str] = None,
+                 parent_id: Optional[str] = None, sampled: bool = True):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.sampled = sampled
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """A fresh root context with the head-sampling decision rolled."""
+        trace_id = f"{random.getrandbits(64):016x}"
+        rate = sample_rate()
+        sampled = rate >= 1.0 or random.random() < rate
+        return cls(trace_id, sampled=sampled)
+
+    def at(self, span_id: Optional[str]) -> "TraceContext":
+        """This trace positioned at ``span_id`` — what a child (local
+        thread or remote worker) should treat as its parent."""
+        return TraceContext(self.trace_id, span_id, self.span_id,
+                            self.sampled)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire format for cross-process propagation (queue payloads)."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "parent_id": self.parent_id, "sampled": self.sampled}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceContext":
+        return cls(data["trace_id"], data.get("span_id"),
+                   data.get("parent_id"), bool(data.get("sampled", True)))
+
+    def __repr__(self) -> str:
+        return (f"TraceContext({self.trace_id}, span={self.span_id}, "
+                f"sampled={self.sampled})")
+
+
+# Ambient (thread-local) context: lets code far from the tracer — the
+# registry recording a delay exemplar, the watchdog naming a violation —
+# find the current request's trace_id without threading it through every
+# call signature.
+_AMBIENT = threading.local()
+
+
+def current_context() -> Optional[TraceContext]:
+    """The thread's active trace context, or ``None`` outside a request."""
+    return getattr(_AMBIENT, "ctx", None)
+
+
+def current_trace_id() -> Optional[str]:
+    """The active *sampled* trace id — ``None`` when there is no context
+    or head sampling dropped it (unsampled requests must not leak ids
+    into exemplars that cannot resolve to a retained trace)."""
+    ctx = getattr(_AMBIENT, "ctx", None)
+    if ctx is None or not ctx.sampled:
+        return None
+    return ctx.trace_id
+
+
+def activate_context(ctx: Optional[TraceContext]) -> Optional[TraceContext]:
+    """Install ``ctx`` as the thread's ambient context; returns the
+    previous one so callers can restore it."""
+    prev = getattr(_AMBIENT, "ctx", None)
+    _AMBIENT.ctx = ctx
+    return prev
+
+
+@contextmanager
+def scoped_context(ctx: Optional[TraceContext]) -> Iterator[
+        Optional[TraceContext]]:
+    """Activate ``ctx`` for the duration of the block, then restore."""
+    prev = activate_context(ctx)
+    try:
+        yield ctx
+    finally:
+        activate_context(prev)
 
 
 class Span:
@@ -43,7 +157,7 @@ class Span:
     driver's epoch."""
 
     __slots__ = ("name", "start_ns", "end_ns", "attrs", "children", "tid",
-                 "pid")
+                 "pid", "trace_id", "span_id", "parent_id")
 
     def __init__(self, name: str, start_ns: int, tid: int,
                  pid: Optional[int] = None):
@@ -54,6 +168,11 @@ class Span:
         self.children: List["Span"] = []
         self.tid = tid
         self.pid = pid
+        # request identity, stamped by the tracer when its context is
+        # sampled; None on unsampled / context-free spans
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
 
     @property
     def duration_ns(self) -> int:
@@ -104,7 +223,11 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self) -> None:
+    #: sentinel distinguishing "no context argument" (mint a fresh one)
+    #: from an explicit ``context=None`` (trace without request identity)
+    _NEW = object()
+
+    def __init__(self, context: Any = _NEW) -> None:
         self._lock = threading.Lock()
         self._local = threading.local()
         self.epoch_ns = time.perf_counter_ns()
@@ -113,6 +236,16 @@ class Tracer:
         self.counters: Dict[str, Any] = {}
         self.gauges: Dict[str, Any] = {}
         self.events = 0
+        if context is Tracer._NEW:
+            context = TraceContext.new()
+        self.context: Optional[TraceContext] = context
+        # span_id -> span, for grafting adopted worker spans under the
+        # driver span whose propagated context they carried
+        self._by_id: Dict[str, Span] = {}
+        # cheap per-tracer span ids: pid prefix guarantees uniqueness
+        # across pool workers, the counter within the process
+        self._id_prefix = f"{os.getpid() & 0xffffff:x}"
+        self._id_seq = itertools.count(1)
 
     # ------------------------------------------------------------------ spans
 
@@ -137,12 +270,22 @@ class Tracer:
             span.attrs.update(attrs)
         stack = self._stack()
         parent = stack[-1] if stack else None
+        ctx = self.context
+        if ctx is not None and ctx.sampled:
+            span.trace_id = ctx.trace_id
+            span.span_id = f"{self._id_prefix}-{next(self._id_seq):x}"
+            # a root span's parent is the propagated remote parent (the
+            # driver span whose context reached this tracer), if any
+            span.parent_id = (parent.span_id if parent is not None
+                              else ctx.span_id)
         with self._lock:
             if parent is None:
                 self.roots.append(span)
             else:
                 parent.children.append(span)
             self.spans.append(span)
+            if span.span_id is not None:
+                self._by_id[span.span_id] = span
             self.events += 1
         stack.append(span)
         return span
@@ -163,19 +306,43 @@ class Tracer:
         """Graft a *completed* foreign span tree into this trace.
 
         The parallel layer rebuilds worker spans driver-side (with their
-        worker ``pid``) and adopts them as extra roots, so one trace —
-        and one Chrome export — covers the whole fan-out.  The span and
-        all its descendants enter the flat ``spans`` list; nothing is
-        pushed on any thread's live stack (the foreign work is already
-        finished)."""
+        worker ``pid``) and adopts them, so one trace — and one Chrome
+        export — covers the whole fan-out.  When the foreign root's
+        ``parent_id`` names a span of *this* trace (the driver span
+        whose propagated :class:`TraceContext` the worker received), it
+        is grafted as that span's child and the worker's subtree joins
+        the request tree; otherwise it lands as an extra root, the
+        pre-propagation behaviour.  The span and all its descendants
+        enter the flat ``spans`` list; nothing is pushed on any thread's
+        live stack (the foreign work is already finished)."""
         with self._lock:
-            self.roots.append(span)
+            parent = (self._by_id.get(span.parent_id)
+                      if span.parent_id is not None else None)
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
             stack = [span]
             while stack:
                 s = stack.pop()
                 self.spans.append(s)
+                if s.span_id is not None:
+                    self._by_id.setdefault(s.span_id, s)
                 self.events += 1
                 stack.extend(s.children)
+
+    def propagation_context(self) -> Optional[TraceContext]:
+        """The context to hand a child of the *current* span — this
+        trace positioned at whatever span tops the calling thread's
+        stack (or at the context's own position when no span is open).
+        ``None`` when the tracer has no request identity."""
+        ctx = self.context
+        if ctx is None:
+            return None
+        stack = self._stack()
+        if stack:
+            return ctx.at(stack[-1].span_id)
+        return ctx
 
     # -------------------------------------------------------- counters/gauges
 
@@ -208,6 +375,7 @@ class _NullSpan:
     duration_ns = 0
     pid = None
     tid = 0
+    trace_id = span_id = parent_id = None
 
     def set(self, key: str, value: Any) -> None:
         pass
@@ -241,6 +409,7 @@ class NullTracer:
         self.gauges: Dict[str, Any] = {}
         self.events = 0
         self.epoch_ns = 0
+        self.context: Optional[TraceContext] = None
 
     def span(self, name: str, **attrs: Any) -> _NullSpanContext:
         return NULL_SPAN_CONTEXT
@@ -253,6 +422,9 @@ class NullTracer:
 
     def elapsed_ns(self) -> int:
         return 0
+
+    def propagation_context(self) -> Optional[TraceContext]:
+        return None
 
 
 NULL_SPAN = _NullSpan()

@@ -39,6 +39,7 @@ listener reads the innermost context.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -48,6 +49,7 @@ import collections
 
 from .registry import registry
 from .sketch import QuantileSketch
+from .trace import current_trace_id
 
 #: default knobs — constructor arguments for tests that need tiny windows
 BASELINE_SAMPLES = 512
@@ -64,7 +66,7 @@ TAIL_RING = 8
 
 class _PlanState:
     __slots__ = ("label", "expectation", "baseline", "window", "budget_ns",
-                 "violations", "answers", "checks")
+                 "violations", "answers", "checks", "last_trace_id")
 
     def __init__(self, label: str, expectation: Optional[str]) -> None:
         self.label = label
@@ -75,6 +77,7 @@ class _PlanState:
         self.violations = 0
         self.answers = 0
         self.checks = 0
+        self.last_trace_id: Optional[str] = None
 
 
 class GuaranteeWatchdog:
@@ -85,7 +88,8 @@ class GuaranteeWatchdog:
                  window_samples: int = WINDOW_SAMPLES,
                  min_budget_ns: int = MIN_BUDGET_NS,
                  max_plans: int = MAX_PLANS,
-                 tail_ring: int = TAIL_RING) -> None:
+                 tail_ring: int = TAIL_RING,
+                 tail_dir: Optional[str] = None) -> None:
         self.factor = factor
         self.baseline_samples = baseline_samples
         self.window_samples = window_samples
@@ -94,6 +98,10 @@ class GuaranteeWatchdog:
         self.plans: Dict[str, _PlanState] = {}
         self.tail: Deque[Dict[str, Any]] = collections.deque(maxlen=tail_ring)
         self.tail_tracing = False
+        #: when set, breaching requests' traces are also written to
+        #: ``<tail_dir>/trace-<trace_id>.json`` so a violation event's
+        #: trace_id (or a sketch exemplar) resolves to a file on disk
+        self.tail_dir = tail_dir
         self._lock = threading.Lock()
         self._local = threading.local()
         self._expectations: Dict[Any, Optional[str]] = {}
@@ -131,6 +139,7 @@ class GuaranteeWatchdog:
         if answers <= 0:
             return
         per_answer = gap_ns // answers
+        trace_id = current_trace_id()
         with self._lock:
             state = self.plans.get(label)
             if state is None:
@@ -142,20 +151,24 @@ class GuaranteeWatchdog:
             if state.expectation is None and expectation is not None:
                 state.expectation = expectation
             state.answers += answers
+            if trace_id is not None:
+                state.last_trace_id = trace_id
             if state.budget_ns is None:
-                state.baseline.add(per_answer, answers)
+                state.baseline.add(per_answer, answers, trace_id=trace_id)
                 if state.baseline.count >= self.baseline_samples:
                     state.budget_ns = max(
                         float(self.min_budget_ns),
                         self.factor * state.baseline.quantile(0.99))
             else:
-                state.window.add(per_answer, answers)
+                state.window.add(per_answer, answers, trace_id=trace_id)
                 if state.window.count >= self.window_samples:
                     self._check_locked(state)
             label = state.label
         # per-plan sketch in the registry so the exposition carries
-        # per-plan delay quantiles, not just the global stream
-        registry().observe("delay.plan." + label, per_answer, answers)
+        # per-plan delay quantiles, not just the global stream — with
+        # the trace_id as the tail-bucket exemplar when sampled
+        registry().observe("delay.plan." + label, per_answer, answers,
+                           trace_id=trace_id)
 
     def flush(self, label: Optional[str] = None) -> None:
         """Force-check any partially-filled windows (stream end, tests)."""
@@ -171,6 +184,9 @@ class GuaranteeWatchdog:
         registry().count("watchdog.checks")
         p99 = state.window.quantile(0.99)
         window_count = state.window.count
+        # the window's p99-bucket exemplar names the request that put
+        # the tail where it is — more precise than "whatever ran last"
+        exemplar = state.window.exemplar(0.99)
         state.window = QuantileSketch()
         if state.expectation != "constant-delay" or state.budget_ns is None:
             return
@@ -178,6 +194,8 @@ class GuaranteeWatchdog:
             return
         state.violations += 1
         registry().count("watchdog.violations")
+        trace_id = (exemplar[1] if exemplar is not None
+                    else state.last_trace_id)
         from .expose import emit_event
         emit_event(
             "guarantee.violation",
@@ -188,6 +206,7 @@ class GuaranteeWatchdog:
             baseline_p99_ns=state.baseline.quantile(0.99),
             window_answers=window_count,
             total_answers=state.answers,
+            trace_id=trace_id,
         )
 
     # -------------------------------------------------- attribution context
@@ -264,15 +283,49 @@ class GuaranteeWatchdog:
         with obs.capture() as tr:
             yield tr
         if self._violations_total() > before:
-            self.tail.append({
+            trace_id = tr.context.trace_id if tr.context is not None else None
+            entry = {
                 "label": label,
                 "ts": time.time(),
                 "tracer": tr,
                 "spans": len(tr.spans),
-            })
+                "trace_id": trace_id,
+            }
+            if self.tail_dir and trace_id:
+                path = self._retain_file(trace_id, tr)
+                if path is not None:
+                    entry["path"] = path
+            self.tail.append(entry)
             registry().count("watchdog.tail_retained")
         else:
             registry().count("watchdog.tail_discarded")
+
+    def _retain_file(self, trace_id: str, tr: Any) -> Optional[str]:
+        """Write the breaching request's Chrome trace to the tail dir;
+        returns the path (None when the write failed — retention must
+        never take the serving path down with it)."""
+        try:
+            from .export import write_chrome_trace
+            os.makedirs(self.tail_dir, exist_ok=True)
+            path = os.path.join(self.tail_dir, f"trace-{trace_id}.json")
+            write_chrome_trace(path, tr)
+            return path
+        except OSError:  # pragma: no cover - disk-full etc.
+            return None
+
+    def retained_trace_path(self, trace_id: str) -> Optional[str]:
+        """Resolve a trace_id (from a violation event or a sketch
+        exemplar) to its retained trace file, if one exists."""
+        for entry in reversed(self.tail):
+            if entry.get("trace_id") == trace_id and "path" in entry:
+                path = entry["path"]
+                if os.path.exists(path):
+                    return path
+        if self.tail_dir:
+            path = os.path.join(self.tail_dir, f"trace-{trace_id}.json")
+            if os.path.exists(path):
+                return path
+        return None
 
     def _violations_total(self) -> int:
         with self._lock:
@@ -334,8 +387,11 @@ def install(**knobs: Any) -> GuaranteeWatchdog:
     if knobs:
         _WATCHDOG.uninstall()
         keep_tail = _WATCHDOG.tail_tracing
+        keep_dir = _WATCHDOG.tail_dir
         _WATCHDOG = GuaranteeWatchdog(**knobs)
         _WATCHDOG.tail_tracing = keep_tail
+        if _WATCHDOG.tail_dir is None:
+            _WATCHDOG.tail_dir = keep_dir
     return _WATCHDOG.install()
 
 

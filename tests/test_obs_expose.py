@@ -100,6 +100,46 @@ def test_plancache_state_exposed_as_gauges():
     assert "repro_plancache_state_maxsize" in parsed["gauges"]
 
 
+# -------------------------------------------------------------- escaping
+
+
+def test_label_escape_round_trip_specials():
+    """The OpenMetrics spec's escaping table: backslash, double quote
+    and line feed must survive render -> parse unchanged."""
+    from repro.obs.expose import escape_label_value, unescape_label_value
+
+    for raw in ('plain', 'with "quotes"', 'back\\slash', 'line\nfeed',
+                'all\\of "them"\ntogether', '\\n is not a newline',
+                'trailing\\'):
+        assert unescape_label_value(escape_label_value(raw)) == raw
+
+
+def test_label_escaping_survives_exposition_round_trip():
+    """A build-info label containing every special character comes back
+    intact through the full render -> parse cycle."""
+    nasty = 'a"b\\c\nd'
+    text = openmetrics_text(extra_info={"nasty": nasty})
+    # the raw newline must not produce a stray exposition line
+    for line in text.splitlines():
+        assert not line.startswith("d")
+    parsed = parse_openmetrics(text)
+    assert parsed["build_info"]["nasty"] == nasty
+
+
+def test_escape_is_not_double_applied():
+    from repro.obs.expose import escape_label_value
+
+    once = escape_label_value("\\n")
+    assert once == "\\\\n"  # backslash escaped first, no re-escape
+
+
+def test_unescape_tolerates_unknown_escapes():
+    from repro.obs.expose import unescape_label_value
+
+    assert unescape_label_value("\\q") == "q"
+    assert unescape_label_value("ok") == "ok"
+
+
 # ----------------------------------------------------------------- HTTP
 
 
