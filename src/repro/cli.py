@@ -460,10 +460,11 @@ def _doctor_parallel() -> None:
 
 def _doctor_caches() -> None:
     """Cache-health lines from the always-on registry: worker-arena
-    cache, pool lifecycle, compiled per-symbol probe cache, watchdog."""
+    cache, pool lifecycle, per-symbol workspaces, watchdog."""
     from repro import obs
     from repro.engine import get_engine
     from repro.engine.parallel import arena_cache_stats
+    from repro.engine.symbols import sharing_enabled
 
     reg = obs.registry()
     arena = arena_cache_stats()
@@ -471,17 +472,26 @@ def _doctor_caches() -> None:
           f"(limit {arena['limit']}); "
           f"{reg.counter('parallel.arena_cache_hits')} hits, "
           f"{reg.counter('parallel.arena_cache_misses')} misses, "
-          f"{reg.counter('parallel.arena_cache_evictions')} evictions")
+          f"{reg.counter('parallel.arena_cache_evictions')} evictions, "
+          f"{reg.counter('parallel.arena_shared_columns')} shared columns")
     print(f"pool lifecycle: {reg.counter('parallel.pool_reuse')} reuses, "
           f"{reg.counter('parallel.pool_spawn')} spawns, "
           f"{reg.counter('parallel.pool_respawn')} respawns")
+    print(f"symbol workspace: "
+          f"{'on' if sharing_enabled() else 'OFF (REPRO_SYMBOL_SHARING=0)'}; "
+          f"{reg.counter('engine.symbol_workspace_hits')} hits, "
+          f"{reg.counter('engine.symbol_workspace_misses')} misses, "
+          f"{reg.counter('engine.symbol_workspace_patches')} patches, "
+          f"{reg.counter('engine.symbol_workspace_variant_hits')} variant "
+          f"hits; {reg.counter('yannakakis.coalesced_semijoins')} "
+          f"coalesced semijoins")
     try:
         sym = get_engine("compiled").symbol_cache_stats()
     except Exception:  # pragma: no cover - compiled tier always registers
         sym = None
     if sym is not None:
         print(f"compiled symbol cache: {sym['entries']} entries, "
-              f"{sym['probes']} probes; "
+              f"{sym['probes']} probes, {sym['variants']} variants; "
               f"{reg.counter('compiled.symbol_cache_hits')} hits, "
               f"{reg.counter('compiled.symbol_cache_misses')} misses, "
               f"{reg.counter('compiled.symbol_cache_patches')} patches")
@@ -734,6 +744,7 @@ def _write_bench_delay_json(path: str, rows: List[dict],
 #: whole run stays under ~10 seconds.
 QUICK_SIZES = [500, 1000, 2000, 4000, 8000]
 QUICK_TRIANGLE_SIZES = [12, 22, 40, 70]
+QUICK_SELFJOIN_SIZES = [2000, 5000, 12000]
 
 DEFAULT_HISTORY_DIR = "benchmarks/history"
 
@@ -803,12 +814,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
                                          size=args.dynamic_size,
                                          repeats=args.repeats,
                                          seed=args.seed)
+        if args.selfjoin_suite:
+            from repro.obs.observatory import run_selfjoin_suite
+
+            selfjoin_sizes = args.selfjoin_sizes
+            if args.quick and selfjoin_sizes is None:
+                selfjoin_sizes = QUICK_SELFJOIN_SIZES
+            records += run_selfjoin_suite(timestamp,
+                                          sizes=selfjoin_sizes,
+                                          repeats=args.repeats,
+                                          seed=args.seed)
     finally:
         _obs_finish(args, tracer, previous)
     observatory = Observatory(args.history_dir)
     snapshots = {"bench": args.snapshot, "parallel": args.parallel_snapshot,
                  "compiled": args.compiled_snapshot,
-                 "dynamic": args.dynamic_snapshot}
+                 "dynamic": args.dynamic_snapshot,
+                 "selfjoin": args.selfjoin_snapshot}
     for record in records:
         observatory.append(record)
         snapshot = snapshots.get(record["suite"])
@@ -979,6 +1001,14 @@ def _render_top(data: dict, prev_counters: dict,
     stamp = _dt.datetime.now().strftime("%H:%M:%S")
     print(f"repro top — {stamp} — {len(data['counters'])} counters, "
           f"{len(data['summaries'])} sketches")
+    ctr = data["counters"]
+    print(f"symbol sharing: "
+          f"{ctr.get('engine.symbol_workspace_hits', 0)} workspace hits / "
+          f"{ctr.get('engine.symbol_workspace_misses', 0)} misses, "
+          f"{ctr.get('engine.symbol_workspace_variant_hits', 0)} variant "
+          f"hits, {ctr.get('yannakakis.coalesced_semijoins', 0)} coalesced "
+          f"semijoins, {ctr.get('parallel.arena_shared_columns', 0)} "
+          f"arena-shared columns")
     delays = {n: s for n, s in data["summaries"].items() if "delay" in n}
     phases = {n: s for n, s in data["summaries"].items() if n not in delays}
     if delays:
@@ -1183,6 +1213,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "fixed instance")
     p.add_argument("--dynamic-snapshot", default="BENCH_dynamic.json",
                    help="snapshot file for the dynamic suite "
+                        "('' disables)")
+    p.add_argument("--selfjoin-suite", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="also run the self-join work-sharing suite: "
+                        "shared per-symbol workspace vs per-atom rebuild "
+                        "(REPRO_SYMBOL_SHARING=0) on same-symbol joins "
+                        "(snapshot in --selfjoin-snapshot)")
+    p.add_argument("--selfjoin-sizes", type=int, nargs="+", default=None,
+                   help="tuples per relation for the self-join suite's "
+                        "size sweep (default 10k/100k/300k)")
+    p.add_argument("--selfjoin-snapshot", default="BENCH_selfjoin.json",
+                   help="snapshot file for the self-join suite "
                         "('' disables)")
     p.add_argument("--gate", choices=("off", "warn", "fail"),
                    default="warn",

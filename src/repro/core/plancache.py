@@ -86,12 +86,26 @@ class PlanCache:
         self.refresh_fallbacks = 0
 
     def stats(self) -> dict:
+        from repro.engine.symbols import sharing_enabled
+        from repro.obs.registry import registry
+
+        reg = registry()
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions,
                 "refreshes": self.refreshes,
                 "refresh_overflows": self.refresh_overflows,
                 "refresh_fallbacks": self.refresh_fallbacks,
-                "entries": len(self._entries), "maxsize": self.maxsize}
+                "entries": len(self._entries), "maxsize": self.maxsize,
+                # per-symbol work sharing rides the same repeated-query
+                # motivation as the plan cache, so its counters surface
+                # here (and in doctor/top) alongside the plan hit rates
+                "symbol_sharing": sharing_enabled(),
+                "symbol_workspace_hits":
+                    reg.counter("engine.symbol_workspace_hits"),
+                "symbol_workspace_misses":
+                    reg.counter("engine.symbol_workspace_misses"),
+                "coalesced_semijoins":
+                    reg.counter("yannakakis.coalesced_semijoins")}
 
     # ----------------------------------------------------------------- lookup
 

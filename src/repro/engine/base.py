@@ -49,11 +49,17 @@ class Engine:
     def plan_key(self) -> Tuple[Any, ...]:
         """Extra plan-cache key material beyond the engine name.
 
-        Serial backends contribute nothing; the parallel backend folds
-        its worker count and shard configuration in, so plans built for
-        one fan-out never serve another (see
+        Every backend folds the symbol-sharing mode in: a plan whose
+        relations carry shared per-symbol probe caches must not serve a
+        run with ``REPRO_SYMBOL_SHARING=0`` (and vice versa — the two
+        modes are deliberately comparable arms, never interchangeable
+        artefacts).  The parallel backend additionally folds its worker
+        count and shard configuration in, so plans built for one fan-out
+        never serve another (see
         :meth:`repro.engine.parallel.ParallelEngine.plan_key`)."""
-        return ()
+        from repro.engine.symbols import sharing_enabled
+
+        return ("symsharing", 1 if sharing_enabled() else 0)
 
     def to_varrelation(self, rel):
         """Convert a relation of this backend into a tuple-backed
@@ -73,6 +79,11 @@ class TupleEngine(Engine):
 
     name = "tuple"
 
+    def __init__(self):
+        from repro.engine.symbols import SymbolWorkspace
+
+        self.workspace = SymbolWorkspace()
+
     def relation(self, variables: Sequence[Variable],
                  tuples: Optional[Iterable[Tup]] = None):
         from repro.eval.join import VarRelation
@@ -80,9 +91,24 @@ class TupleEngine(Engine):
         return VarRelation(variables, tuples)
 
     def materialise_atom(self, db: Database, atom: Atom):
-        from repro.eval.join import atom_to_varrelation
+        """Materialise via :func:`repro.eval.join.atom_to_varrelation`;
+        atoms with constants or repeated variables share one projected
+        row list per (symbol, signature, version) through the workspace,
+        so a self-join pair like ``E(x, x), E(y, y)`` pays the selection
+        scan once (the per-relation hash structures stay per-atom — they
+        key on variable names and are mutated by consumers)."""
+        from repro.engine.symbols import atom_signature, sharing_enabled
+        from repro.eval.join import VarRelation, atom_to_varrelation
 
-        return atom_to_varrelation(db, atom)
+        sig = atom_signature(atom)
+        if sig is None or not sharing_enabled():
+            return atom_to_varrelation(db, atom)
+        rel = db.relation(atom.relation)
+        entry = self.workspace.entry(atom.relation, rel, self.name)
+        rows = entry.variant(
+            ("rows", sig),
+            lambda: atom_to_varrelation(db, atom).tuples())
+        return VarRelation(atom.variables(), rows)
 
     def from_relation(self, rel):
         from repro.eval.join import VarRelation
@@ -99,6 +125,7 @@ class ColumnarEngine(Engine):
 
     def __init__(self, dictionary=None):
         from repro.engine.columnar import default_dictionary
+        from repro.engine.symbols import SymbolWorkspace
 
         # explicit None check: a freshly created (empty) ValueDictionary
         # is falsy, and silently swapping it for the process-global one
@@ -106,6 +133,7 @@ class ColumnarEngine(Engine):
         # that asked for isolation
         self.dictionary = (dictionary if dictionary is not None
                            else default_dictionary())
+        self.workspace = SymbolWorkspace()
 
     def relation(self, variables: Sequence[Variable],
                  tuples: Optional[Iterable[Tup]] = None):
@@ -117,7 +145,9 @@ class ColumnarEngine(Engine):
     def materialise_atom(self, db: Database, atom: Atom):
         from repro.engine.columnar import materialise_atom_columnar
 
-        return materialise_atom_columnar(db, atom, self.dictionary)
+        return materialise_atom_columnar(db, atom, self.dictionary,
+                                         workspace=self.workspace,
+                                         scope=self.name)
 
     def from_relation(self, rel):
         from repro.engine.columnar import ColumnarRelation

@@ -303,15 +303,23 @@ class ColumnarRelation:
 
     def batch_probe(self, probe_vars: Sequence[Variable]):
         """The batch probe structure over ``probe_vars``, memoised on the
-        relation (see :func:`repro.engine.enumerate.build_probe`).  The
-        compiled subclass overrides this with a position-keyed radix
-        table so probes are shared across same-symbol atoms."""
+        relation (see :func:`repro.engine.enumerate.build_probe`).
+
+        Keyed by *column positions*, not variable names: a probe depends
+        only on the column arrays, so two same-symbol atoms sharing one
+        cache dict (:class:`repro.engine.symbols.SymbolWorkspace`)
+        resolve ``R(x, y)`` and ``R(u, v)`` probing column 0 to the same
+        entry.  The compiled subclass applies the same convention to its
+        radix tables."""
         from repro.engine.enumerate import _BatchProbe
 
-        pv = tuple(probe_vars)
+        self._flush()
+        positions = tuple(self._positions[v] for v in probe_vars)
+        cols = self._columns
+        nrows = self._nrows
         return self.cached_probe(
-            ("batch_probe", pv),
-            lambda: _BatchProbe([self.column(v) for v in pv], len(self)))
+            ("batch_probe", positions),
+            lambda: _BatchProbe([cols[p] for p in positions], nrows))
 
     def column(self, v: Variable) -> np.ndarray:
         """The code column of variable ``v``."""
@@ -432,8 +440,7 @@ class ColumnarRelation:
             extend = getattr(probe, "extended", None)
             if extend is None:
                 continue
-            patched = extend(
-                [new_cols[self._positions[v]] for v in key[1]], count)
+            patched = extend([new_cols[p] for p in key[1]], count)
             if patched is not None:
                 obs.count("kernel.probe_cache_patches")
                 out._probecache[key] = patched
@@ -615,7 +622,18 @@ def encoded_relation_columns(rel, dictionary: ValueDictionary
     by one vectorized membership mask — so re-materialising a 100k-tuple
     relation after a 1% delta costs O(delta) encoding plus one O(n)
     gather instead of a full per-value re-encode.
+
+    The cache is the symbol-level share of the encode work, so the
+    ``REPRO_SYMBOL_SHARING=0`` kill-switch bypasses it: every atom (and
+    every run) then pays its own per-occurrence encode, which is the
+    measured baseline of ``repro bench --selfjoin-suite``.
     """
+    from repro.engine.symbols import sharing_enabled
+
+    if not sharing_enabled():
+        obs.count("kernel.encode_cache_bypasses")
+        rows = rel.tuples()
+        return _encode_rows(rows, rel.arity, dictionary), len(rows)
     cache = getattr(rel, "_colcache", None)
     version = getattr(rel, "version", None)
     if cache is not None and len(cache) == 4 and cache[0] is dictionary:
@@ -692,24 +710,13 @@ def _patch_encoded_columns(rel, dictionary: ValueDictionary,
     return new_cache
 
 
-def materialise_atom_columnar(db, atom,
-                              dictionary: Optional[ValueDictionary] = None
-                              ) -> ColumnarRelation:
-    """Vectorized counterpart of :func:`repro.eval.join.atom_to_varrelation`:
-    constants and repeated variables become boolean column masks."""
-    # None check, not truthiness: an empty ValueDictionary is falsy but
-    # still the dictionary the caller asked to encode into
-    dictionary = dictionary if dictionary is not None else default_dictionary()
-    rel = db.relation(atom.relation)
-    if rel.arity != atom.arity:
-        raise SchemaMismatchError(
-            f"atom {atom!r} has arity {atom.arity} but relation "
-            f"{atom.relation!r} has arity {rel.arity}"
-        )
+def _masked_atom_columns(atom, cols, nrows,
+                         dictionary: ValueDictionary
+                         ) -> Tuple[List[np.ndarray], int]:
+    """Resolve an atom's constants and repeated variables into selected,
+    projected columns (the non-base layout of
+    :func:`materialise_atom_columnar`)."""
     variables = atom.variables()
-    obs.count("kernel.materialise_atom")
-    cols, nrows = encoded_relation_columns(rel, dictionary)
-    obs.gauge("dictionary.size", len(dictionary))
     mask: Optional[np.ndarray] = None
     first_pos: Dict[Variable, int] = {}
     for pos, term in enumerate(atom.terms):
@@ -729,8 +736,64 @@ def materialise_atom_columnar(db, atom,
     if mask is not None:
         out_cols = [c[mask] for c in out_cols]
         nrows = int(mask.sum())
+    return out_cols, nrows
+
+
+def materialise_atom_columnar(db, atom,
+                              dictionary: Optional[ValueDictionary] = None,
+                              workspace=None, scope: str = "columnar"
+                              ) -> ColumnarRelation:
+    """Vectorized counterpart of :func:`repro.eval.join.atom_to_varrelation`:
+    constants and repeated variables become boolean column masks.
+
+    With a :class:`~repro.engine.symbols.SymbolWorkspace` (and sharing
+    on), the result rides the per-symbol entry: all-distinct-variable
+    atoms share the entry's base probe cache (one sorted/radix build per
+    (symbol, positions, version) across every atom of the symbol), and
+    masked atoms share one column set + probe cache per
+    constant/dup-variable signature — ``R(x, x)`` and ``R(u, u)`` are
+    materialised once.  The selected and projected columns depend only
+    on the signature, never on variable names, which is what makes the
+    share sound.
+    """
+    from repro.engine.symbols import atom_signature, sharing_enabled
+
+    # None check, not truthiness: an empty ValueDictionary is falsy but
+    # still the dictionary the caller asked to encode into
+    dictionary = dictionary if dictionary is not None else default_dictionary()
+    rel = db.relation(atom.relation)
+    if rel.arity != atom.arity:
+        raise SchemaMismatchError(
+            f"atom {atom!r} has arity {atom.arity} but relation "
+            f"{atom.relation!r} has arity {rel.arity}"
+        )
+    variables = atom.variables()
+    obs.count("kernel.materialise_atom")
+    cols, nrows = encoded_relation_columns(rel, dictionary)
+    obs.gauge("dictionary.size", len(dictionary))
+    sig = atom_signature(atom)
+    shared = workspace is not None and sharing_enabled()
+    entry = workspace.entry(atom.relation, rel, scope, dictionary) \
+        if shared else None
+    if sig is None:
+        # base layout: the stored columns in term order, no copy; every
+        # such atom of the symbol shares the entry's probe cache
+        out = ColumnarRelation.from_codes(variables, cols, nrows, dictionary)
+        if entry is not None:
+            out._probecache = entry.probes
+        return out
+    if entry is not None:
+        out_cols, out_n, probes = entry.variant(
+            ("cols", sig),
+            lambda: _masked_atom_columns(atom, cols, nrows, dictionary)
+            + ({},))
+        out = ColumnarRelation.from_codes(variables, out_cols, out_n,
+                                          dictionary)
+        out._probecache = probes
+        return out
+    out_cols, out_n = _masked_atom_columns(atom, cols, nrows, dictionary)
     # base rows are distinct, so the selected/projected rows are too
-    return ColumnarRelation.from_codes(variables, out_cols, nrows, dictionary)
+    return ColumnarRelation.from_codes(variables, out_cols, out_n, dictionary)
 
 
 # --------------------------------------------------------- counting kernel

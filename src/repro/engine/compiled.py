@@ -37,7 +37,6 @@ parity suites compare answer *sequences*, not just sets.
 from __future__ import annotations
 
 import os
-from collections import OrderedDict
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -55,10 +54,14 @@ from repro.engine.radix import (
     kernel_tier,
     make_probe,
 )
+from repro.engine.symbols import SYMBOL_WORKSPACE_LIMIT
 from repro.logic.terms import Variable
 
-#: stored relations whose probe caches the engine keeps alive (LRU)
-SYMBOL_CACHE_LIMIT = 64
+#: stored relations whose probe caches the engine keeps alive (LRU) —
+#: kept as a re-export: the per-symbol cache this tier pioneered now
+#: lives in :class:`repro.engine.symbols.SymbolWorkspace`, shared by
+#: every backend
+SYMBOL_CACHE_LIMIT = SYMBOL_WORKSPACE_LIMIT
 
 
 class CompiledRelation(ColumnarRelation):
@@ -216,13 +219,10 @@ class CompiledEngine(ColumnarEngine):
     name = "compiled"
 
     def __init__(self, dictionary=None):
+        # per-symbol sharing (probe caches, masked variants, migration)
+        # lives in the base class's SymbolWorkspace since every backend
+        # now shares it; this tier contributes the radix probes
         super().__init__(dictionary)
-        # (symbol, id(stored relation), version) -> (pinned relation,
-        # shared position-keyed probe-cache dict).  The pin keeps the id
-        # from being reused while the entry lives (same soundness
-        # argument as PlanCache); a version bump changes the key, so
-        # stale probes are unreachable and age out by LRU.
-        self._symbol_probes: "OrderedDict[Tuple[str, int, int], Tuple[Any, Dict[Any, Any]]]" = OrderedDict()
         obs.gauge("compiled.kernel_tier_numba", 1 if kernel_tier() == "numba"
                   else 0)
 
@@ -230,89 +230,21 @@ class CompiledEngine(ColumnarEngine):
         return CompiledRelation(variables, tuples,
                                 dictionary=self.dictionary)
 
-    def _symbol_probe_cache(self, name: str, rel) -> Dict[Any, Any]:
-        key = (name, id(rel), rel.version)
-        entry = self._symbol_probes.get(key)
-        if entry is not None:
-            self._symbol_probes.move_to_end(key)
-            obs.count("compiled.symbol_cache_hits")
-            return entry[1]
-        obs.count("compiled.symbol_cache_misses")
-        stale = [k for k in self._symbol_probes
-                 if k[0] == name and k[1] == id(rel)]
-        cache: Dict[Any, Any] = {}
-        if stale:
-            cache = self._migrated_probes(
-                rel, max(stale, key=lambda k: k[2]))
-        for k in stale:
-            del self._symbol_probes[k]
-        self._symbol_probes[key] = (rel, cache)
-        while len(self._symbol_probes) > SYMBOL_CACHE_LIMIT:
-            self._symbol_probes.popitem(last=False)
-        return cache
-
-    def _migrated_probes(self, rel, stale_key) -> Dict[Any, Any]:
-        """Seed a fresh per-symbol cache from its stale predecessor.
-
-        Only on an *append-only* delta (every effective op since the
-        stale version is an insert, so the new column layout is exactly
-        the old rows plus the appended ones at the end): each sorted
-        ``_BatchProbe`` entry whose packing tables still cover the new
-        values is merged forward in O(delta + log n)
-        (:meth:`repro.engine.enumerate._BatchProbe.extended`).  Radix
-        tables (the numba tier) have no merge path and rebuild lazily;
-        deletes or delta-log overflow migrate nothing — the probes
-        rebuild cold, which is always sound.
-        """
-        from repro.core.plancache import incremental_enabled
-
-        if not incremental_enabled():
-            return {}
-        ops = rel.deltas_since(stale_key[2])
-        if not ops or any(op != "+" for op, _t in ops):
-            return {}
-        old_cache = self._symbol_probes[stale_key][1]
-        added = [t for _op, t in ops]
-        columns: Dict[int, np.ndarray] = {}
-        migrated: Dict[Any, Any] = {}
-        for pkey, probe in old_cache.items():
-            extend = getattr(probe, "extended", None)
-            if extend is None or not (isinstance(pkey, tuple) and pkey
-                                      and pkey[0] == "radix_probe"):
-                continue
-            cols = []
-            for p in pkey[1]:
-                col = columns.get(p)
-                if col is None:
-                    col = self.dictionary.encode_values(
-                        [t[p] for t in added])
-                    columns[p] = col
-                cols.append(col)
-            patched = extend(cols, len(added))
-            if patched is not None:
-                migrated[pkey] = patched
-                obs.count("compiled.symbol_cache_patches")
-        return migrated
-
     def symbol_cache_stats(self) -> Dict[str, int]:
         """Introspection for tests/doctor: live per-symbol cache size."""
-        return {"entries": len(self._symbol_probes),
-                "probes": sum(len(c) for _rel, c in
-                              self._symbol_probes.values())}
+        return self.workspace.stats()
 
     def materialise_atom(self, db, atom):
-        base = materialise_atom_columnar(db, atom, self.dictionary)
+        base = materialise_atom_columnar(db, atom, self.dictionary,
+                                         workspace=self.workspace,
+                                         scope=self.name)
         out = CompiledRelation.from_codes(
             base.variables, base.code_columns(), len(base), self.dictionary)
-        terms = atom.terms
-        # all-distinct-variable atoms keep the base columns in term
-        # order (no constant/dup-variable mask), so position-keyed probe
-        # structures are valid across every such atom of the symbol —
-        # share one cache dict per (symbol, version)
-        if (len(terms) == len(base.variables)
-                and all(isinstance(t, Variable) for t in terms)):
-            out._probecache = self._symbol_probe_cache(
-                atom.relation, db.relation(atom.relation))
+        # identical columns -> identical probes; the workspace already
+        # picked the right shared dict (base layout, masked variant, or
+        # a private one with sharing disabled), and the two classes'
+        # probe-key namespaces do not collide
+        out._probecache = base._probecache
         return out
 
     def from_relation(self, rel):
@@ -334,8 +266,9 @@ class CompiledEngine(ColumnarEngine):
         """Folds the kernel tier and fan-out into PlanCache keys: a plan
         whose cached relations carry numba radix tables must not serve a
         process that flipped to the numpy fallback, and vice versa."""
-        return ("kernel", kernel_tier(),
-                "radix_bits", os.environ.get(RADIX_BITS_ENV_VAR) or "auto")
+        return super().plan_key() + (
+            "kernel", kernel_tier(),
+            "radix_bits", os.environ.get(RADIX_BITS_ENV_VAR) or "auto")
 
     # hook consulted by repro.counting.acq_count (duck-typed, like the
     # parallel engine's parallel_count)

@@ -291,11 +291,22 @@ def _acquire_column_arena(relations: Sequence[Any]
     cols_per_rel = [rel.code_columns() for rel in relations]
     flat: List[np.ndarray] = []
     col_index: List[List[int]] = []
+    # dedupe by array identity: shared per-symbol materialisations (see
+    # repro.engine.symbols) make a k-atom self-join's relations alias the
+    # same ndarray objects, so the arena publishes one segment slot per
+    # symbol column rather than one per atom occurrence
+    slot_of: Dict[int, int] = {}
     for cols in cols_per_rel:
         idx = []
         for c in cols:
-            idx.append(len(flat))
-            flat.append(c)
+            slot = slot_of.get(id(c))
+            if slot is None:
+                slot = len(flat)
+                slot_of[id(c)] = slot
+                flat.append(c)
+            else:
+                obs.count("parallel.arena_shared_columns")
+            idx.append(slot)
         col_index.append(idx)
     key = tuple((id(c), len(c)) for c in flat)
     entry = _ARENA_CACHE.get(key)
@@ -1318,7 +1329,8 @@ class ParallelEngine(ColumnarEngine):
         """Folds the shard plan into PlanCache keys: a cached plan built
         for one worker count must not serve a run with another (worker
         probes, chunk bounds and arena layouts all depend on it)."""
-        return ("workers", self.workers, "threshold", self.threshold)
+        return super().plan_key() + (
+            "workers", self.workers, "threshold", self.threshold)
 
     def should_parallelise(self, relations: Sequence[Any]) -> bool:
         """Pool dispatch is worth it: >1 worker, columnar operands on one

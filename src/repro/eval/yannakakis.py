@@ -68,6 +68,30 @@ def _traced_semijoin(left: VarRelation, right: VarRelation, phase: str,
         return out
 
 
+def _semijoin_signature(target: VarRelation, source: VarRelation):
+    """What a semijoin pass *does* to ``target``, up to provable equality.
+
+    A semijoin keeps the target rows whose shared-variable values occur
+    in the source — it depends only on the source's shared-column
+    contents.  Identifying those contents by ``(variable, array
+    identity, row count)`` is sound because columnar relations never
+    mutate a published column array (reductions build fresh arrays), and
+    it is exactly what per-symbol sharing makes useful: a k-atom
+    self-join's materialisations alias the *same* arrays, so k-1 of the
+    reduction passes against them are provably identical.  ``None``
+    (never coalesce) for tuple-backed relations and for passes with no
+    shared variables (those enforce emptiness, not membership).
+    """
+    column = getattr(source, "column", None)
+    if column is None:
+        return None
+    shared = [v for v in source.variables if target.has_variable(v)]
+    if not shared:
+        return None
+    n = len(source)
+    return tuple((v, id(column(v)), n) for v in shared)
+
+
 def full_reducer(cq: ConjunctiveQuery, db: Database,
                  tree: Optional[JoinTree] = None,
                  relations: Optional[List[VarRelation]] = None,
@@ -87,8 +111,17 @@ def full_reducer(cq: ConjunctiveQuery, db: Database,
     if tree is None and relations is None:
         from repro.core.plancache import (cached_plan, incremental_enabled,
                                           plan_cache_enabled)
+        from repro.logic.selfjoin import selfjoin_signature
 
         eng = _engine(engine)
+        # fold the self-join structure into the key material: a plan for
+        # a repeated-symbol query carries cross-atom shared artefacts
+        # (aliased columns, coalesced passes), and the explicit signature
+        # keeps that visible in cache introspection
+        extra = eng.plan_key()
+        sj = selfjoin_signature(cq)
+        if sj:
+            extra = extra + (("selfjoin", sj),)
         if incremental_enabled() and plan_cache_enabled():
             from repro.dynamic.delta import DeltaReducer
 
@@ -103,7 +136,7 @@ def full_reducer(cq: ConjunctiveQuery, db: Database,
                 state = cached_plan(
                     "full_reducer_inc", cq, db, eng.name,
                     lambda: DeltaReducer.build(cq, db, eng),
-                    extra=eng.plan_key(),
+                    extra=extra,
                     refresher=lambda st, deltas: st.refreshed(deltas))
                 tree, reduced = state.result()
                 return tree, [r.copy() for r in reduced]
@@ -114,7 +147,7 @@ def full_reducer(cq: ConjunctiveQuery, db: Database,
             "full_reducer", cq, db, eng.name,
             lambda: _full_reduce(cq, db, cached_join_tree(cq.hypergraph()),
                                  materialise_atoms(cq, db, eng), engine=eng),
-            extra=eng.plan_key())
+            extra=extra)
         return tree, [r.copy() for r in reduced]
     if tree is None:
         tree = cached_join_tree(cq.hypergraph())
@@ -135,19 +168,43 @@ def _full_reduce(cq: ConjunctiveQuery, db: Database, tree: JoinTree,
     parallel = getattr(eng, "parallel_reduce", None)
     if parallel is not None and eng.should_parallelise(relations):
         return tree, parallel(tree, relations)
+    from repro.engine.symbols import sharing_enabled
+
+    # coalesce provably-identical passes: once a target was reduced by a
+    # source with these exact shared-column identities, repeating the
+    # pass is a no-op — semijoins only remove rows, and membership of
+    # the surviving rows in the (unchanged) source is already
+    # established.  Skipping keeps the same relation object, so contents
+    # and row order are untouched.  Disabled with the sharing
+    # kill-switch: this is a symbol-sharing payoff (distinct atoms only
+    # alias columns when materialisation shared them) and the per-atom
+    # bench arm must pay every pass.
+    coalesce = sharing_enabled()
+    applied: Dict[int, set] = {}
+
+    def _reduce_step(target: int, source: int, phase: str) -> None:
+        if coalesce:
+            sig = _semijoin_signature(relations[target], relations[source])
+            if sig is not None:
+                seen = applied.setdefault(target, set())
+                if sig in seen:
+                    obs.count("yannakakis.coalesced_semijoins")
+                    return
+                seen.add(sig)
+        relations[target] = _traced_semijoin(
+            relations[target], relations[source], phase, target)
+
     with obs.span("yannakakis.full_reduce", nodes=len(relations)) as sp:
         sp.set("rows_in", sum(len(r) for r in relations))
         # bottom-up: parent := parent semijoin child
         for node in tree.bottom_up():
             parent = tree.parent[node]
             if parent is not None:
-                relations[parent] = _traced_semijoin(
-                    relations[parent], relations[node], "bottom_up", parent)
+                _reduce_step(parent, node, "bottom_up")
         # top-down: child := child semijoin parent
         for node in tree.top_down():
             for child in tree.children[node]:
-                relations[child] = _traced_semijoin(
-                    relations[child], relations[node], "top_down", child)
+                _reduce_step(child, node, "top_down")
         sp.set("rows_out", sum(len(r) for r in relations))
     return tree, relations
 

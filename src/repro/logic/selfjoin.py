@@ -1,0 +1,90 @@
+"""Self-join structure of a conjunctive query.
+
+A *self-join* names one relation symbol in more than one atom.  The
+paper's dichotomies (free-connex enumeration, Theorem 4.21 counting)
+are stated for self-join-free queries; Carmeli–Segoufin ("Conjunctive
+Queries With Self-Joins, Towards a Fine-Grained Complexity Analysis",
+arXiv 2206.04988) push the frontier past that restriction by analysing
+which *variable identifications* between same-symbol atoms survive in
+the query's homomorphic core.  This module computes the two structural
+inputs that analysis (and the engines' per-symbol work sharing) needs:
+
+* :func:`selfjoin_signature` — the symbol multiplicity profile, the
+  plan-cache-visible fingerprint of "how self-joined" a query is;
+* :func:`variable_identifications` — how many same-symbol atom pairs
+  are unifiable (a most general unifier exists, constants rigid).
+  Unifiable pairs are exactly the candidates a core computation may
+  collapse; a self-join whose same-symbol atoms pairwise fail to unify
+  behaves like a self-join-free query under every homomorphism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.logic.cq import ConjunctiveQuery
+from repro.logic.terms import Constant, Term
+
+
+def selfjoin_signature(cq: ConjunctiveQuery) -> Tuple[Tuple[str, int], ...]:
+    """The repeated-symbol profile: ``((symbol, multiplicity), ...)``,
+    sorted, for every symbol named by two or more atoms.  Empty exactly
+    when the query is self-join-free."""
+    counts: Dict[str, int] = {}
+    for atom in cq.atoms:
+        counts[atom.relation] = counts.get(atom.relation, 0) + 1
+    return tuple(sorted((name, k) for name, k in counts.items() if k >= 2))
+
+
+def _unifiable(left, right) -> bool:
+    """Do two same-symbol atoms admit a most general unifier?
+
+    Positional unification with rigid constants: union the terms at each
+    position; a class containing two distinct constants is a clash.
+    (Occurs-check-free because terms are flat.)
+    """
+    parent: Dict[Term, Term] = {}
+
+    def find(t: Term) -> Term:
+        while True:
+            up = parent.get(t, t)
+            if up == t:
+                return t
+            t = up
+
+    for a, b in zip(left.terms, right.terms):
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            continue
+        if isinstance(ra, Constant) and isinstance(rb, Constant):
+            return False  # two distinct constants in one class
+        # keep a constant as the representative so later merges see it
+        if isinstance(ra, Constant):
+            parent[rb] = ra
+        else:
+            parent[ra] = rb
+    return True
+
+
+def variable_identifications(cq: ConjunctiveQuery) -> int:
+    """The number of unifiable same-symbol atom pairs.
+
+    Zero means no homomorphism can ever collapse two atoms — the query's
+    self-joins are *inert* and the self-join-free analysis applies
+    verbatim (its core keeps every atom).  A positive count flags the
+    queries where the Carmeli–Segoufin core analysis can differ from the
+    self-join-free reading.
+    """
+    by_symbol: Dict[str, List] = {}
+    for atom in cq.atoms:
+        by_symbol.setdefault(atom.relation, []).append(atom)
+    pairs = 0
+    for atoms in by_symbol.values():
+        for i in range(len(atoms)):
+            for j in range(i + 1, len(atoms)):
+                if _unifiable(atoms[i], atoms[j]):
+                    pairs += 1
+    return pairs
+
+
+__all__ = ["selfjoin_signature", "variable_identifications"]

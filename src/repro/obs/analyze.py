@@ -250,6 +250,20 @@ def analyze(query: Any, db: Any = None, *, size: int = 4000,
         row(key, "filter: out <= in_left",
             f"in {in_left} -> out {out}", status, note)
 
+    # per-symbol work sharing: repeated-symbol queries should build each
+    # (symbol, version) artefact once and coalesce identical reduction
+    # passes — informational, the hit pattern depends on the query shape
+    c1 = run1["counters"]
+    ws_hits = c1.get("engine.symbol_workspace_hits", 0)
+    ws_misses = c1.get("engine.symbol_workspace_misses", 0)
+    coalesced = c1.get("yannakakis.coalesced_semijoins", 0)
+    if ws_hits or ws_misses or coalesced:
+        row("symbol_share", "one build per symbol per version",
+            f"{ws_hits} hits / {ws_misses} misses, "
+            f"{coalesced} coalesced semijoins",
+            INFO, "shared per-symbol workspace "
+            "(disable with REPRO_SYMBOL_SHARING=0)")
+
     # preprocessing (serial or parallel full reduce)
     for key in ("yannakakis.full_reduce", "parallel.full_reduce"):
         entry = spans1.get(key)

@@ -212,6 +212,13 @@ def expected_verdict(query, metric_kind: str) -> Optional[str]:
     * cyclic + anything -> ``superlinear`` (Theorems 4.8 / 4.9
       conditional lower bounds).
 
+    Self-join queries gate on the *effective* structure — the best of
+    the query and its homomorphic core (``effective_acyclic``,
+    ``effective_free_connex``; Carmeli-Segoufin, arXiv 2206.04988) —
+    because the classifier's verdicts, and any evaluator that minimises
+    first, ride on the core.  For self-join-free queries the effective
+    facts coincide with the syntactic ones.
+
     Returns ``None`` when the classification carries no shape claim for
     the metric (e.g. comparisons, where even deciding is W[1]-hard).
     """
@@ -221,9 +228,9 @@ def expected_verdict(query, metric_kind: str) -> Optional[str]:
     facts = report.facts
     if facts.get("has_order_comparisons"):
         return None
-    acyclic = facts.get("acyclic", False)
+    acyclic = facts.get("effective_acyclic", facts.get("acyclic", False))
     if metric_kind == "delay":
-        if facts.get("free_connex"):
+        if facts.get("effective_free_connex", facts.get("free_connex")):
             return "constant-delay"
         if acyclic:
             return "linear"

@@ -920,3 +920,127 @@ def run_dynamic_suite(timestamp: str, size: int = 100_000,
                     best_speedup_x=max(p["speedup_x"]
                                        for p in reduce_points)),
     ]
+
+#: the self-join suite: shared per-symbol work vs the per-atom baseline
+SELFJOIN_SUITE = "selfjoin"
+
+
+def run_selfjoin_suite(timestamp: str,
+                       sizes: Optional[Sequence[int]] = None,
+                       repeats: int = 2, seed: int = 7,
+                       engine: str = "columnar") -> List[Dict[str, Any]]:
+    """Measure engine-wide per-symbol work sharing on self-join queries.
+
+    Every case runs two arms on identical instances: **shared** (the
+    default — one dictionary encode, one probe build, one materialised
+    column set per (symbol, db version), semijoin passes coalesced) and
+    **per-atom** (:func:`repro.engine.symbols.sharing_scope` forced off,
+    which also bypasses the relation-level encode cache — each atom
+    occurrence pays its own build, the historical behaviour).  Points
+    use ``n`` = ||D|| and ``value`` = shared-arm wall seconds with the
+    per-atom arm riding along as ``disabled_seconds`` and the ratio as
+    ``speedup_x``; the headline ``best_speedup_x`` is what CI gates on
+    (warn-only).  Cases:
+
+    * ``selfjoin/path_count_wall`` — counting the 3-atom same-symbol
+      path join Q(x,y,z,w) :- R(x,y), R(y,z), R(z,w) (free-connex since
+      quantifier-free), expectation ``linear``;
+    * ``selfjoin/path_enum_wall`` — full enumeration of the same path
+      join (two of its three probe structures coincide per position);
+    * ``selfjoin/star_reduce_wall`` — the full reducer on the star
+      Q(x,y1,y2,y3) :- R(x,y1), R(x,y2), R(x,y3), where the bottom-up
+      passes against same-column children coalesce;
+    * ``selfjoin/triangle_materialise_wall`` — materialisation + one
+      probe build per atom of the cyclic triangle R(x,y), R(y,z),
+      R(z,x) (evaluation is superlinear by Theorem 4.9, so only the
+      linear preprocessing is swept).
+
+    Each point also carries the workspace counters from one freshly
+    instantiated engine (``symbol_cache_misses`` must be 1 and
+    ``symbol_cache_hits`` k-1 for a k-atom self-join — the "one build
+    per symbol per version" provenance the acceptance bar asks for).
+    """
+    import time
+
+    from repro import obs
+    from repro.core.plancache import clear_plan_cache
+    from repro.core.planner import count
+    from repro.data import generators
+    from repro.engine.base import ColumnarEngine
+    from repro.engine.symbols import sharing_scope
+    from repro.enumeration.free_connex import FreeConnexEnumerator
+    from repro.eval.yannakakis import full_reducer, materialise_atoms
+    from repro.logic.parser import parse_cq
+
+    provenance = collect_provenance(timestamp, engine=engine)
+    if sizes is None:
+        sizes = (10_000, 100_000, 300_000)
+    path_query = parse_cq("Q(x, y, z, w) :- R(x, y), R(y, z), R(z, w)")
+    star_query = parse_cq(
+        "Q(x, y1, y2, y3) :- R(x, y1), R(x, y2), R(x, y3)")
+    tri_query = parse_cq("Q() :- R(x, y), R(y, z), R(z, x)")
+
+    def timed(fn) -> float:
+        best = math.inf
+        for _ in range(max(1, repeats)):
+            clear_plan_cache()
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def materialise_and_probe(query, eng) -> None:
+        for rel, atom in zip(materialise_atoms(query, db, engine=eng),
+                             query.atoms):
+            rel.batch_probe((atom.variables()[0],))
+
+    cases = {
+        "path_count": lambda eng: count(path_query, db, engine=eng),
+        "path_enum": lambda eng: sum(
+            1 for _ in FreeConnexEnumerator(path_query, db, engine=eng)),
+        "star_reduce": lambda eng: full_reducer(star_query, db, engine=eng),
+        "triangle_materialise":
+            lambda eng: materialise_and_probe(tri_query, eng),
+    }
+    points: Dict[str, List[Dict[str, Any]]] = {k: [] for k in cases}
+    for size in sizes:
+        # domain ~ size keeps the expected out-degree at 1, so the path
+        # join's output stays O(||D||) and enumeration wall time
+        # measures the join, not an exploding output
+        db = generators.random_database({"R": 2}, size, size, seed=seed)
+        n = db.size()
+        # sharing provenance on a cold engine: k same-symbol atoms must
+        # produce exactly 1 workspace miss (the build) and k-1 hits
+        with obs.capture() as tracer:
+            materialise_atoms(path_query, db, engine=ColumnarEngine())
+        hits = tracer.counters.get("engine.symbol_workspace_hits", 0)
+        misses = tracer.counters.get("engine.symbol_workspace_misses", 0)
+        for name, fn in cases.items():
+            shared = timed(lambda: fn(engine))
+            with sharing_scope(False):
+                disabled = timed(lambda: fn(engine))
+            points[name].append({
+                "n": n, "value": shared,
+                "disabled_seconds": disabled,
+                "speedup_x": disabled / shared,
+                "symbol_cache_hits": hits,
+                "symbol_cache_misses": misses,
+            })
+
+    def record(name: str, case: str, query=None,
+               fit: bool = True) -> Dict[str, Any]:
+        pts = points[name]
+        return make_record(
+            SELFJOIN_SUITE, case, "wall_seconds", pts,
+            provenance=provenance, fit=fit,
+            expectation=(expected_verdict(query, "total")
+                         if query is not None else None),
+            best_speedup_x=max(p["speedup_x"] for p in pts))
+
+    return [
+        record("path_count", "selfjoin/path_count_wall", path_query),
+        record("path_enum", "selfjoin/path_enum_wall", path_query),
+        record("star_reduce", "selfjoin/star_reduce_wall", star_query),
+        record("triangle_materialise",
+               "selfjoin/triangle_materialise_wall"),
+    ]

@@ -11,7 +11,12 @@ multiply matrices in O(n^2).
 Example 4.7 generalises: any self-join-free non-free-connex ACQ can be
 fed a database built from D_BM in linear time so that its answer set is
 Pi(D_BM) x {bottom}^{m-2}.  :func:`example_47_database` implements the
-paper's concrete instance.
+paper's concrete instance.  The self-join-free restriction is the
+*construction's* hypothesis, not a gap in the bound: a query with
+self-joins is equivalent to its homomorphic core, and when the core is
+not free-connex the Mat-Mul bound lifts to the query itself
+(Carmeli-Segoufin, arXiv 2206.04988) — :mod:`repro.core.classify`
+states those verdicts decisively via the ``effective_*`` facts.
 """
 
 from __future__ import annotations

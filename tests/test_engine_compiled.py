@@ -376,14 +376,16 @@ def test_symbol_cache_invalidated_by_version_bump():
     assert stats["entries"] >= 1
 
 
-def test_symbol_cache_not_installed_for_constant_atoms():
+def test_symbol_cache_variants_for_masked_atoms():
     """Atoms with constants or repeated variables materialise masked
-    columns, so they must NOT share the per-symbol position-keyed
-    cache."""
+    columns, so they must not share the *base* position-keyed cache —
+    but atoms with the *same* constant/dup-var signature share one
+    variant (masked columns and probe cache), regardless of the
+    variable names they use."""
     from repro.logic.terms import Constant
 
     db = Database.from_relations({"E": [(1, 1), (1, 2), (2, 2)]})
-    x = Variable("x")
+    x, u = Variable("x"), Variable("u")
     eng = CompiledEngine()
     dup = eng.materialise_atom(db, Atom("E", (x, x)))
     plain = eng.materialise_atom(db, Atom("E", (x, Variable("y"))))
@@ -392,6 +394,16 @@ def test_symbol_cache_not_installed_for_constant_atoms():
     assert const._probecache is not plain._probecache
     assert set(dup) == {(1,), (2,)}       # rows with t[0] == t[1]
     assert set(const) == {(1,), (2,)}     # rows with t[1] == 2
+    # same signature, different variable names -> one shared variant
+    dup2 = eng.materialise_atom(db, Atom("E", (u, u)))
+    const2 = eng.materialise_atom(db, Atom("E", (u, Constant(2))))
+    assert dup2._probecache is dup._probecache
+    assert const2._probecache is const._probecache
+    assert set(dup2) == set(dup)
+    # a different constant is a different variant
+    other = eng.materialise_atom(db, Atom("E", (x, Constant(1))))
+    assert other._probecache is not const._probecache
+    assert set(other) == {(1,)}           # rows with t[1] == 1
 
 
 def test_plan_key_distinguishes_kernel_tiers(monkeypatch):

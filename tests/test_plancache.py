@@ -49,15 +49,23 @@ def test_hit_miss_accounting():
     assert cache.get(key) is _MISS
     cache.put(key, "plan")
     assert cache.get(key) == "plan"
-    assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0,
-                             "refreshes": 0, "refresh_overflows": 0,
-                             "refresh_fallbacks": 0,
-                             "entries": 1, "maxsize": 4}
+    expected = {"hits": 1, "misses": 1, "evictions": 0,
+                "refreshes": 0, "refresh_overflows": 0,
+                "refresh_fallbacks": 0,
+                "entries": 1, "maxsize": 4}
+    stats = cache.stats()
+    assert {k: stats[k] for k in expected} == expected
+    # sharing telemetry (process-global counters) rides along
+    assert isinstance(stats["symbol_sharing"], bool)
+    assert stats["symbol_workspace_hits"] >= 0
+    assert stats["coalesced_semijoins"] >= 0
     cache.clear()
-    assert cache.stats() == {"hits": 0, "misses": 0, "evictions": 0,
-                             "refreshes": 0, "refresh_overflows": 0,
-                             "refresh_fallbacks": 0,
-                             "entries": 0, "maxsize": 4}
+    expected = {"hits": 0, "misses": 0, "evictions": 0,
+                "refreshes": 0, "refresh_overflows": 0,
+                "refresh_fallbacks": 0,
+                "entries": 0, "maxsize": 4}
+    stats = cache.stats()
+    assert {k: stats[k] for k in expected} == expected
 
 
 def test_none_is_a_cacheable_value():
